@@ -1,0 +1,132 @@
+//! A LeapIO-style ARM-SoC full offload (ablation baseline).
+//!
+//! LeapIO moves the *entire* storage stack onto embedded ARM cores.
+//! That frees the host CPU (like BM-Store) but the ARM cores become the
+//! data-path bottleneck: the paper cites 68 % of single-disk native
+//! throughput (§III-B), which is precisely the motivation for putting
+//! BM-Store's I/O path in the FPGA instead. The ablation bench
+//! `ablation_arm_offload` swaps this model in for the BMS-Engine to
+//! show that crossover.
+
+use bm_sim::resource::FifoServer;
+use bm_sim::{SimDuration, SimTime};
+
+/// Tuning for the ARM data path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmOffloadConfig {
+    /// ARM cores dedicated to the I/O path.
+    pub cores: usize,
+    /// ARM CPU time per 4-KiB-class I/O (submission + completion).
+    pub per_small_io: SimDuration,
+    /// ARM CPU time per large (≥ 64 KiB) I/O.
+    pub per_large_io: SimDuration,
+    /// Added latency per hop through the SoC's software stack.
+    pub stack_latency: SimDuration,
+}
+
+impl ArmOffloadConfig {
+    /// Calibrated so single-disk 4-KiB random-read throughput lands at
+    /// ~68 % of the P4510's 650 K IOPS (≈ 440 K), matching the FVM
+    /// paper's measurement of LeapIO that §III-B cites.
+    pub fn leapio_like() -> Self {
+        ArmOffloadConfig {
+            cores: 4,
+            per_small_io: SimDuration::from_nanos(9_000),
+            per_large_io: SimDuration::from_us(38),
+            stack_latency: SimDuration::from_us(8),
+        }
+    }
+}
+
+impl Default for ArmOffloadConfig {
+    fn default() -> Self {
+        Self::leapio_like()
+    }
+}
+
+/// Runtime state: the ARM cores as FIFO servers.
+#[derive(Debug, Clone)]
+pub struct ArmOffload {
+    cfg: ArmOffloadConfig,
+    cores: Vec<FifoServer>,
+    next: usize,
+    ios: u64,
+}
+
+impl ArmOffload {
+    /// Creates the SoC data path.
+    pub fn new(cfg: ArmOffloadConfig) -> Self {
+        ArmOffload {
+            cores: vec![FifoServer::new(); cfg.cores],
+            cfg,
+            next: 0,
+            ios: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ArmOffloadConfig {
+        &self.cfg
+    }
+
+    /// Processes one I/O through the ARM stack starting at `now`;
+    /// returns when it reaches the SSD, with the SoC's software latency
+    /// included.
+    pub fn process(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.ios += 1;
+        let cost = if bytes >= 64 * 1024 {
+            self.cfg.per_large_io
+        } else {
+            self.cfg.per_small_io
+        };
+        let idx = self.next % self.cores.len();
+        self.next += 1;
+        self.cores[idx].occupy(now, cost) + self.cfg.stack_latency
+    }
+
+    /// I/Os processed.
+    pub fn ios(&self) -> u64 {
+        self.ios
+    }
+
+    /// Peak small-I/O throughput of the SoC.
+    pub fn small_io_ceiling(&self) -> f64 {
+        self.cfg.cores as f64 / self.cfg.per_small_io.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_is_about_68_percent_of_p4510() {
+        let arm = ArmOffload::new(ArmOffloadConfig::leapio_like());
+        let frac = arm.small_io_ceiling() / 650e3;
+        assert!((0.6..0.75).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn cores_serialize_io() {
+        let mut arm = ArmOffload::new(ArmOffloadConfig {
+            cores: 1,
+            per_small_io: SimDuration::from_us(10),
+            per_large_io: SimDuration::from_us(10),
+            stack_latency: SimDuration::ZERO,
+        });
+        let a = arm.process(SimTime::ZERO, 4096);
+        let b = arm.process(SimTime::ZERO, 4096);
+        assert_eq!(a.as_nanos(), 10_000);
+        assert_eq!(b.as_nanos(), 20_000);
+        assert_eq!(arm.ios(), 2);
+    }
+
+    #[test]
+    fn large_io_costs_more() {
+        let mut arm = ArmOffload::new(ArmOffloadConfig::leapio_like());
+        let small = arm.process(SimTime::ZERO, 4096);
+        let mut arm2 = ArmOffload::new(ArmOffloadConfig::leapio_like());
+        let large = arm2.process(SimTime::ZERO, 128 * 1024);
+        assert!(large > small);
+    }
+}

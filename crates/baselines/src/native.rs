@@ -1,0 +1,35 @@
+//! Native bare-metal attachment.
+//!
+//! The reference path: the host NVMe driver owns the SSD's rings in
+//! host DRAM, submission costs are the kernel profile's, completion is
+//! a hardware MSI. There is nothing scheme-specific to model beyond the
+//! kernel profile, so this module only names the configuration.
+
+use bm_host::KernelProfile;
+
+/// Marker configuration for the native path.
+#[derive(Debug, Clone, Default)]
+pub struct NativeConfig {
+    /// Host kernel profile.
+    pub kernel: KernelProfile,
+}
+
+impl NativeConfig {
+    /// The paper's host (CentOS 7.9, kernel 3.10).
+    pub fn paper_default() -> Self {
+        NativeConfig {
+            kernel: KernelProfile::centos79_310(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_host() {
+        let c = NativeConfig::paper_default();
+        assert!(c.kernel.name.contains("CentOS"));
+    }
+}

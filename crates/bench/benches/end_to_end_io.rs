@@ -1,0 +1,56 @@
+//! End-to-end simulation throughput: how many simulated 4 KiB I/Os per
+//! wall-clock second the full BM-Store world sustains. This bounds the
+//! wall time of every table/figure reproduction.
+
+use bm_sim::stats::IoStats;
+use bm_sim::SimDuration;
+use bm_testbed::{DeviceId, Testbed, TestbedConfig, World};
+use bm_workloads::fio::{FioJob, FioSpec, RwMode, SharedStats};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_ios(scheme_cfg: TestbedConfig, sim_ms: u64) -> u64 {
+    let spec = FioSpec {
+        mode: RwMode::RandRead,
+        block_bytes: 4096,
+        iodepth: 32,
+        numjobs: 1,
+        ramp: SimDuration::from_ms(0),
+        runtime: SimDuration::from_ms(sim_ms),
+    };
+    let mut tb = Testbed::new(scheme_cfg);
+    let stats: SharedStats = Rc::new(RefCell::new(IoStats::new()));
+    let job = FioJob::new(&mut tb, DeviceId(0), spec, 0, 7, Rc::clone(&stats), None);
+    let mut world = World::new(tb);
+    world.add_client(Box::new(job));
+    let _ = world.run(None);
+    let ops = stats.borrow().ops();
+    ops
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("native_10ms_sim", |b| {
+        b.iter(|| run_ios(TestbedConfig::native(1), 10))
+    });
+    g.bench_function("bm_store_10ms_sim", |b| {
+        b.iter(|| run_ios(TestbedConfig::bm_store_bare_metal(1), 10))
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_e2e
+}
+criterion_main!(benches);

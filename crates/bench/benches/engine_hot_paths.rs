@@ -1,0 +1,134 @@
+//! Microbenchmarks of the BMS-Engine's per-command hot paths — the
+//! operations the RTL performs at 250 MHz line rate. These measure the
+//! *simulation's* cost, useful for keeping long experiment runs fast.
+
+use bm_nvme::command::{IoOpcode, Sqe};
+use bm_nvme::queue::SubmissionQueue;
+use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
+use bm_pcie::mctp::{Assembler, Eid, MctpMessage, MessageType};
+use bm_pcie::{FunctionId, HostMemory, PciAddr};
+use bm_sim::SimTime;
+use bm_ssd::SsdId;
+use bmstore_core::engine::dma_routing::GlobalPrp;
+use bmstore_core::engine::mapping::{MapEntry, MappingTable, ENTRIES_PER_ROW};
+use bmstore_core::engine::qos::{NamespaceQos, QosLimit};
+use bmstore_core::engine::resources::ResourceUsage;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut mt = MappingTable::new(128, 4096);
+    for i in 0..24usize {
+        mt.install(
+            i / ENTRIES_PER_ROW,
+            i % ENTRIES_PER_ROW,
+            MapEntry::new(i as u8, SsdId((i % 4) as u8)).unwrap(),
+        )
+        .unwrap();
+    }
+    let cs = mt.chunk_blocks();
+    c.bench_function("lba_mapping_lookup", |b| {
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 12_345) % (24 * cs);
+            black_box(mt.map(0, Lba(lba)).unwrap())
+        })
+    });
+}
+
+fn bench_global_prp(c: &mut Criterion) {
+    let func = FunctionId::new(77).unwrap();
+    c.bench_function("global_prp_tag_untag", |b| {
+        let mut addr = 0x1000u64;
+        b.iter(|| {
+            addr = (addr + 4096) & 0xFFFF_FFFF_F000;
+            let tagged = GlobalPrp::tag(PciAddr::new(addr), func, false);
+            black_box(GlobalPrp::untag(tagged))
+        })
+    });
+}
+
+fn bench_qos(c: &mut Criterion) {
+    c.bench_function("qos_admit_unlimited", |b| {
+        let mut qos = NamespaceQos::new(QosLimit::UNLIMITED);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            black_box(qos.admit(SimTime::from_nanos(t), 4096))
+        })
+    });
+    c.bench_function("qos_admit_limited", |b| {
+        let mut qos = NamespaceQos::new(QosLimit::iops(1e9));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            black_box(qos.admit(SimTime::from_nanos(t), 4096))
+        })
+    });
+}
+
+fn bench_rings(c: &mut Criterion) {
+    let mut mem = HostMemory::new(16 << 20);
+    let base = mem.alloc(1024 * 64).unwrap();
+    let mut sq = SubmissionQueue::new(QueueId(1), base, 1024);
+    let sqe = Sqe::io(
+        IoOpcode::Read,
+        Cid(1),
+        Nsid::new(1).unwrap(),
+        Lba(0),
+        8,
+        PciAddr::new(0x10_0000),
+        PciAddr::NULL,
+    );
+    c.bench_function("sq_push_fetch", |b| {
+        b.iter(|| {
+            sq.push(&mut mem, &sqe).unwrap();
+            black_box(sq.fetch(&mut mem).unwrap())
+        })
+    });
+}
+
+fn bench_mctp(c: &mut Criterion) {
+    let msg = MctpMessage::new(MessageType::NvmeMi, vec![0xA5; 256]);
+    c.bench_function("mctp_packetize_assemble", |b| {
+        b.iter(|| {
+            let packets = msg.packetize(Eid(9), Eid(8), 1);
+            let mut asm = Assembler::new();
+            let mut out = None;
+            for p in packets {
+                if let Some(m) = asm.push(p).unwrap() {
+                    out = Some(m);
+                }
+            }
+            black_box(out)
+        })
+    });
+}
+
+fn bench_resources(c: &mut Criterion) {
+    c.bench_function("fpga_resource_model", |b| {
+        let mut n = 1u32;
+        b.iter(|| {
+            n = n % 6 + 1;
+            black_box(ResourceUsage::for_ssds(n))
+        })
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_mapping,
+        bench_global_prp,
+        bench_qos,
+        bench_rings,
+        bench_mctp,
+        bench_resources
+}
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! `bmstore-cli` — run ad-hoc fio-style scenarios against any scheme.
+//!
+//! ```text
+//! bmstore-cli [--scheme native|vfio|bm-store|bm-store-vm|spdk[:CORES]|arm]
+//!             [--rw randread|randwrite|seqread|seqwrite|rw:READFRAC]
+//!             [--bs BYTES] [--iodepth N] [--numjobs N] [--ssds N]
+//!             [--runtime-ms N] [--seed N] [--qos-iops N]
+//! ```
+//!
+//! Example: the paper's rand-r-128 on BM-Store with a 50 K IOPS cap:
+//!
+//! ```bash
+//! cargo run --release -p bm-bench --bin bmstore_cli -- \
+//!     --scheme bm-store --rw randread --iodepth 128 --qos-iops 50000
+//! ```
+
+use bm_sim::SimDuration;
+use bm_testbed::{SchemeKind, TestbedConfig};
+use bm_workloads::fio::{aggregate, run_fio, FioSpec, RwMode};
+use bmstore_core::engine::qos::QosLimit;
+use std::process::exit;
+
+struct Args {
+    scheme: String,
+    rw: String,
+    bs: u64,
+    iodepth: u32,
+    numjobs: u32,
+    ssds: usize,
+    runtime_ms: u64,
+    seed: u64,
+    qos_iops: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bmstore-cli [--scheme native|vfio|bm-store|bm-store-vm|spdk[:CORES]|arm]\n\
+         \x20                  [--rw randread|randwrite|seqread|seqwrite|rw:READFRAC]\n\
+         \x20                  [--bs BYTES] [--iodepth N] [--numjobs N] [--ssds N]\n\
+         \x20                  [--runtime-ms N] [--seed N] [--qos-iops N]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: "bm-store".into(),
+        rw: "randread".into(),
+        bs: 4096,
+        iodepth: 128,
+        numjobs: 4,
+        ssds: 1,
+        runtime_ms: 500,
+        seed: 42,
+        qos_iops: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scheme" => args.scheme = value(),
+            "--rw" => args.rw = value(),
+            "--bs" => args.bs = value().parse().unwrap_or_else(|_| usage()),
+            "--iodepth" => args.iodepth = value().parse().unwrap_or_else(|_| usage()),
+            "--numjobs" => args.numjobs = value().parse().unwrap_or_else(|_| usage()),
+            "--ssds" => args.ssds = value().parse().unwrap_or_else(|_| usage()),
+            "--runtime-ms" => args.runtime_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--qos-iops" => args.qos_iops = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn scheme_kind(s: &str) -> SchemeKind {
+    match s {
+        "native" => SchemeKind::Native,
+        "vfio" => SchemeKind::Vfio,
+        "bm-store" => SchemeKind::BmStore { in_vm: false },
+        "bm-store-vm" => SchemeKind::BmStore { in_vm: true },
+        "arm" => SchemeKind::ArmOffload,
+        other => match other.strip_prefix("spdk") {
+            Some(rest) => {
+                let cores = rest
+                    .strip_prefix(':')
+                    .map(|c| c.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(1);
+                SchemeKind::SpdkVhost { cores }
+            }
+            None => {
+                eprintln!("unknown scheme {other}");
+                usage()
+            }
+        },
+    }
+}
+
+fn rw_mode(s: &str) -> RwMode {
+    match s {
+        "randread" => RwMode::RandRead,
+        "randwrite" => RwMode::RandWrite,
+        "seqread" => RwMode::SeqRead,
+        "seqwrite" => RwMode::SeqWrite,
+        other => match other.strip_prefix("rw:") {
+            Some(frac) => RwMode::RandRw {
+                read_frac: frac.parse().unwrap_or_else(|_| usage()),
+            },
+            None => {
+                eprintln!("unknown rw mode {other}");
+                usage()
+            }
+        },
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let kind = scheme_kind(&args.scheme);
+    let mut cfg = match &kind {
+        SchemeKind::Native => TestbedConfig::native(args.ssds),
+        SchemeKind::BmStore { in_vm: false } => TestbedConfig::bm_store_bare_metal(args.ssds),
+        other => {
+            let mut c = TestbedConfig::single_vm(other.clone());
+            c.ssds = args.ssds;
+            c.devices = (0..args.ssds)
+                .map(|i| bm_testbed::DeviceSpec::whole_disk(i as u8))
+                .collect();
+            c
+        }
+    }
+    .with_seed(args.seed);
+    if args.qos_iops > 0 {
+        for d in &mut cfg.devices {
+            d.qos = QosLimit::iops(args.qos_iops as f64);
+        }
+    }
+    let spec = FioSpec {
+        mode: rw_mode(&args.rw),
+        block_bytes: args.bs,
+        iodepth: args.iodepth,
+        numjobs: args.numjobs,
+        ramp: SimDuration::from_ms(args.runtime_ms / 10),
+        runtime: SimDuration::from_ms(args.runtime_ms),
+    };
+    println!(
+        "scheme={} rw={} bs={} iodepth={} numjobs={} ssds={} runtime={}ms qos_iops={}",
+        args.scheme,
+        args.rw,
+        args.bs,
+        args.iodepth,
+        args.numjobs,
+        args.ssds,
+        args.runtime_ms,
+        args.qos_iops
+    );
+    let (results, world) = run_fio(cfg, spec);
+    for (i, r) in results.iter().enumerate() {
+        println!(
+            "dev{i}: {:>9.0} IOPS  {:>8.1} MB/s  avg {:>9.1} us  p50 {:>9.1}  p99 {:>9.1}  p99.9 {:>9.1}",
+            r.iops,
+            r.bandwidth_mbps,
+            r.avg_latency.as_micros_f64(),
+            r.p50.as_micros_f64(),
+            r.p99.as_micros_f64(),
+            r.p999.as_micros_f64(),
+        );
+    }
+    let agg = aggregate(&results);
+    println!(
+        "total: {:>9.0} IOPS  {:>8.1} MB/s  avg {:>9.1} us",
+        agg.iops,
+        agg.bandwidth_mbps,
+        agg.avg_latency.as_micros_f64()
+    );
+    let polling = world.tb.polling_cpu_busy();
+    if polling > SimDuration::ZERO {
+        println!(
+            "host polling CPU burnt: {:.3} core-seconds",
+            polling.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! The hot-upgrade state machine (paper §IV-D, Table IX, Fig. 15).
+//!
+//! Timeline of one SSD firmware hot-upgrade:
+//!
+//! ```text
+//! t0           pause          activate             resume
+//! │ quiesce &   │ download +   │  device frozen      │ reload I/O context,
+//! │ save I/O    │ commit       │  (5.5–8.5 s)        │ flush buffered I/O
+//! └─────────────┴──────────────┴─────────────────────┴──────────────────→
+//!     ~BM-Store processing ≈ 100 ms        activation dominates
+//! ```
+//!
+//! Tenant I/O issued during the window buffers in the engine and
+//! completes afterwards — no errors, because the whole window stays
+//! under the 30 s NVMe I/O timeout (§V-F).
+
+use bm_sim::{SimDuration, SimTime};
+use bm_ssd::SsdId;
+
+/// BM-Store's own processing share of the upgrade (paper: ~100 ms).
+pub const CONTROLLER_PROCESSING: SimDuration = SimDuration::from_ms(100);
+
+/// Phase of an in-flight upgrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradePhase {
+    /// Firmware committed; device frozen until the stored instant.
+    Activating {
+        /// When the device thaws and I/O can resume.
+        resume_at: SimTime,
+    },
+    /// Resume executed; report available.
+    Done,
+}
+
+/// One SSD's upgrade in progress.
+#[derive(Debug, Clone)]
+pub struct UpgradeState {
+    /// Target SSD.
+    pub ssd: SsdId,
+    /// When the I/O pause began.
+    pub pause_start: SimTime,
+    /// Sampled device activation time.
+    pub activation: SimDuration,
+    /// Current phase.
+    pub phase: UpgradePhase,
+    /// In-flight commands captured at quiesce.
+    pub saved_inflight: usize,
+}
+
+impl UpgradeState {
+    /// Begins an upgrade at `now` with the device's sampled
+    /// `activation` duration.
+    pub fn begin(now: SimTime, ssd: SsdId, activation: SimDuration, saved_inflight: usize) -> Self {
+        UpgradeState {
+            ssd,
+            pause_start: now,
+            activation,
+            phase: UpgradePhase::Activating {
+                resume_at: now + CONTROLLER_PROCESSING + activation,
+            },
+            saved_inflight,
+        }
+    }
+
+    /// When I/O resumes.
+    pub fn resume_at(&self) -> SimTime {
+        match self.phase {
+            UpgradePhase::Activating { resume_at } => resume_at,
+            UpgradePhase::Done => self.pause_start, // already resumed
+        }
+    }
+
+    /// Marks the resume executed and produces the report.
+    pub fn finish(&mut self, now: SimTime) -> UpgradeReport {
+        self.phase = UpgradePhase::Done;
+        UpgradeReport {
+            ssd: self.ssd,
+            pause_start: self.pause_start,
+            pause_end: now,
+            io_pause: now.saturating_since(self.pause_start),
+            activation: self.activation,
+            controller_processing: CONTROLLER_PROCESSING,
+        }
+    }
+}
+
+/// The measurements Table IX reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradeReport {
+    /// Upgraded SSD.
+    pub ssd: SsdId,
+    /// Pause window start.
+    pub pause_start: SimTime,
+    /// Pause window end.
+    pub pause_end: SimTime,
+    /// Tenant-visible I/O pause.
+    pub io_pause: SimDuration,
+    /// Device firmware activation time.
+    pub activation: SimDuration,
+    /// BM-Store's own processing time.
+    pub controller_processing: SimDuration,
+}
+
+impl UpgradeReport {
+    /// Total hot-upgrade time (the paper's 6–9 s).
+    pub fn total(&self) -> SimDuration {
+        self.io_pause
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_matches_paper_bounds() {
+        let t0 = SimTime::from_nanos(1_000_000_000);
+        let activation = SimDuration::from_secs_f64(7.0);
+        let mut up = UpgradeState::begin(t0, SsdId(1), activation, 12);
+        let resume = up.resume_at();
+        assert_eq!(resume, t0 + CONTROLLER_PROCESSING + activation);
+        let report = up.finish(resume);
+        let total = report.total().as_secs_f64();
+        assert!((6.0..9.0).contains(&total), "total {total}");
+        assert_eq!(report.controller_processing, SimDuration::from_ms(100));
+        assert_eq!(up.phase, UpgradePhase::Done);
+        assert_eq!(up.saved_inflight, 12);
+    }
+
+    #[test]
+    fn processing_is_about_100ms() {
+        // Paper: "the processing time of BM-Store is about 100 ms".
+        assert_eq!(CONTROLLER_PROCESSING.as_secs_f64(), 0.1);
+    }
+}

@@ -1,0 +1,150 @@
+//! The I/O monitor (paper §IV-D).
+//!
+//! "The BMS-Engine monitors I/O status and saves relevant data in
+//! specific registers. The I/O monitor module would read the registers
+//! to get the I/O status information through the AXI bus." The monitor
+//! keeps timestamped snapshots per function so the console can query
+//! both cumulative counters and recent rates.
+
+use crate::engine::counters::FunctionCounters;
+use crate::engine::BmsEngine;
+use bm_pcie::FunctionId;
+use bm_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One timestamped counter snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot {
+    /// When the AXI read happened.
+    pub at: SimTime,
+    /// The register values.
+    pub counters: FunctionCounters,
+}
+
+/// Rates derived from two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoRates {
+    /// Read IOPS over the window.
+    pub read_iops: f64,
+    /// Write IOPS over the window.
+    pub write_iops: f64,
+    /// Total bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+/// The monitor: polls engine registers and serves queries.
+#[derive(Debug, Default)]
+pub struct IoMonitor {
+    last: HashMap<u8, Snapshot>,
+    polls: u64,
+}
+
+impl IoMonitor {
+    /// Creates an idle monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Polls `func`'s registers at `now`. Returns the fresh snapshot
+    /// and, when a previous snapshot exists, the rates since it.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        engine: &BmsEngine,
+        func: FunctionId,
+    ) -> (Snapshot, Option<IoRates>) {
+        self.polls += 1;
+        let snap = Snapshot {
+            at: now,
+            counters: engine.counters().function(func),
+        };
+        let rates = self.last.get(&func.index()).and_then(|prev| {
+            let dt = now.saturating_since(prev.at);
+            if dt == SimDuration::ZERO {
+                return None;
+            }
+            let secs = dt.as_secs_f64();
+            Some(IoRates {
+                read_iops: (snap.counters.reads - prev.counters.reads) as f64 / secs,
+                write_iops: (snap.counters.writes - prev.counters.writes) as f64 / secs,
+                bytes_per_sec: (snap.counters.total_bytes() - prev.counters.total_bytes()) as f64
+                    / secs,
+            })
+        });
+        self.last.insert(func.index(), snap);
+        (snap, rates)
+    }
+
+    /// Serializes counters into the QueryStats response payload
+    /// (6 × u64, little-endian).
+    pub fn encode_counters(c: &FunctionCounters) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        for v in [
+            c.reads,
+            c.writes,
+            c.read_bytes,
+            c.write_bytes,
+            c.errors,
+            c.qos_deferred,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a QueryStats response payload.
+    pub fn decode_counters(p: &[u8]) -> Option<FunctionCounters> {
+        if p.len() < 48 {
+            return None;
+        }
+        let at = |i: usize| u64::from_le_bytes(p[i * 8..(i + 1) * 8].try_into().expect("8"));
+        Some(FunctionCounters {
+            reads: at(0),
+            writes: at(1),
+            read_bytes: at(2),
+            write_bytes: at(3),
+            errors: at(4),
+            qos_deferred: at(5),
+        })
+    }
+
+    /// AXI reads performed so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    #[test]
+    fn counters_encode_round_trip() {
+        let c = FunctionCounters {
+            reads: 1,
+            writes: 2,
+            read_bytes: 3,
+            write_bytes: 4,
+            errors: 5,
+            qos_deferred: 6,
+        };
+        let enc = IoMonitor::encode_counters(&c);
+        assert_eq!(enc.len(), 48);
+        assert_eq!(IoMonitor::decode_counters(&enc), Some(c));
+        assert_eq!(IoMonitor::decode_counters(&enc[..40]), None);
+    }
+
+    #[test]
+    fn rates_need_two_snapshots() {
+        let engine = BmsEngine::new(EngineConfig::paper_default(1));
+        let mut mon = IoMonitor::new();
+        let f = FunctionId::new(0).unwrap();
+        let (_, rates) = mon.poll(SimTime::ZERO, &engine, f);
+        assert!(rates.is_none());
+        let (_, rates) = mon.poll(SimTime::from_nanos(1_000_000_000), &engine, f);
+        let rates = rates.unwrap();
+        assert_eq!(rates.read_iops, 0.0);
+        assert_eq!(mon.polls(), 2);
+    }
+}

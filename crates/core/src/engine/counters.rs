@@ -1,0 +1,146 @@
+//! I/O counting registers.
+//!
+//! The BMS-Engine "sends the number of requests to the I/O Monitor to
+//! supervise the performance and status of BM-Store" (§IV-E). Counters
+//! are kept per front-end function — the unit tenants are billed and
+//! monitored at — and are read out-of-band by the BMS-Controller over
+//! the AXI bus.
+
+use bm_pcie::FunctionId;
+
+/// One function's counters (one "register file" in the RTL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunctionCounters {
+    /// Read commands completed.
+    pub reads: u64,
+    /// Write commands completed.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Commands completed with error status.
+    pub errors: u64,
+    /// Commands deferred by QoS.
+    pub qos_deferred: u64,
+}
+
+impl FunctionCounters {
+    /// Total commands.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// The engine's counter bank, indexed by function.
+#[derive(Debug, Clone)]
+pub struct IoCounters {
+    per_function: Vec<FunctionCounters>,
+}
+
+impl IoCounters {
+    /// Creates a bank for `functions` front-end functions.
+    pub fn new(functions: usize) -> Self {
+        IoCounters {
+            per_function: vec![FunctionCounters::default(); functions],
+        }
+    }
+
+    /// Records a completed command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is outside the bank.
+    pub fn record(&mut self, func: FunctionId, is_write: bool, bytes: u64, error: bool) {
+        let c = &mut self.per_function[func.index() as usize];
+        if error {
+            c.errors += 1;
+        } else if is_write {
+            c.writes += 1;
+            c.write_bytes += bytes;
+        } else {
+            c.reads += 1;
+            c.read_bytes += bytes;
+        }
+    }
+
+    /// Records a QoS deferral.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is outside the bank.
+    pub fn record_deferred(&mut self, func: FunctionId) {
+        self.per_function[func.index() as usize].qos_deferred += 1;
+    }
+
+    /// Reads one function's registers (the AXI read the controller does).
+    pub fn function(&self, func: FunctionId) -> FunctionCounters {
+        self.per_function
+            .get(func.index() as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Aggregate across all functions.
+    pub fn total(&self) -> FunctionCounters {
+        let mut t = FunctionCounters::default();
+        for c in &self.per_function {
+            t.reads += c.reads;
+            t.writes += c.writes;
+            t.read_bytes += c.read_bytes;
+            t.write_bytes += c.write_bytes;
+            t.errors += c.errors;
+            t.qos_deferred += c.qos_deferred;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u8) -> FunctionId {
+        FunctionId::new(i).unwrap()
+    }
+
+    #[test]
+    fn records_split_by_direction() {
+        let mut c = IoCounters::new(4);
+        c.record(f(1), false, 4096, false);
+        c.record(f(1), true, 8192, false);
+        c.record(f(1), false, 0, true);
+        let r = c.function(f(1));
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.writes, 1);
+        assert_eq!(r.read_bytes, 4096);
+        assert_eq!(r.write_bytes, 8192);
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.total_ops(), 2);
+        assert_eq!(r.total_bytes(), 12_288);
+    }
+
+    #[test]
+    fn totals_aggregate_functions() {
+        let mut c = IoCounters::new(8);
+        for i in 0..8 {
+            c.record(f(i), false, 1000, false);
+            c.record_deferred(f(i));
+        }
+        let t = c.total();
+        assert_eq!(t.reads, 8);
+        assert_eq!(t.read_bytes, 8000);
+        assert_eq!(t.qos_deferred, 8);
+    }
+
+    #[test]
+    fn out_of_bank_reads_are_zero() {
+        let c = IoCounters::new(2);
+        assert_eq!(c.function(f(100)), FunctionCounters::default());
+    }
+}

@@ -1,0 +1,345 @@
+//! The host adaptor — the engine's back-end port to each SSD.
+//!
+//! For every attached SSD the adaptor owns an SQ/CQ pair in engine chip
+//! memory (exposed to the SSD through the chip window), plus the
+//! *outstanding-command table* that multiplexes many front-end functions
+//! onto one back-end queue: each forwarded command gets a back-end CID
+//! from a free list, and the completion path uses that CID to find the
+//! originating function, host queue, and host CID again.
+
+use crate::engine::dma_routing::ChipWindow;
+use bm_nvme::command::{CQE_SIZE, SQE_SIZE};
+use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
+use bm_nvme::types::{Cid, QueueId};
+use bm_nvme::Cqe;
+use bm_pcie::{FunctionId, HostMemory, PciAddr};
+use bm_sim::SimTime;
+use bm_ssd::SsdId;
+use std::fmt;
+
+/// What the adaptor remembers about one forwarded command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outstanding {
+    /// Originating front-end function.
+    pub func: FunctionId,
+    /// Host-side queue the command came from.
+    pub host_qid: QueueId,
+    /// Host-side command id.
+    pub host_cid: Cid,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Whether the command writes.
+    pub is_write: bool,
+    /// When the engine fetched the command from the host.
+    pub fetched_at: SimTime,
+}
+
+/// One SSD's back-end port.
+pub struct BackEndPort {
+    ssd: SsdId,
+    /// Engine-side ring descriptors (producer on SQ, consumer on CQ).
+    sq: SubmissionQueue,
+    cq: CompletionQueue,
+    /// Chip-window bus addresses of the rings (for building the SSD-side
+    /// descriptors).
+    sq_bus: PciAddr,
+    cq_bus: PciAddr,
+    entries: u16,
+    outstanding: Vec<Option<Outstanding>>,
+    free_cids: Vec<u16>,
+    /// Per-command PRP-list slots in chip memory (bus addresses).
+    list_slots: Vec<PciAddr>,
+    forwarded: u64,
+    completed: u64,
+}
+
+impl fmt::Debug for BackEndPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackEndPort")
+            .field("ssd", &self.ssd)
+            .field("inflight", &self.inflight())
+            .field("forwarded", &self.forwarded)
+            .finish()
+    }
+}
+
+impl BackEndPort {
+    /// Allocates the port's rings and PRP-list slots in `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if chip memory is exhausted.
+    pub fn new(ssd: SsdId, entries: u16, chip: &mut HostMemory) -> Self {
+        let sq_local = chip
+            .alloc(entries as u64 * SQE_SIZE)
+            .expect("chip memory for back-end SQ");
+        let cq_local = chip
+            .alloc(entries as u64 * CQE_SIZE)
+            .expect("chip memory for back-end CQ");
+        let list_base = chip
+            .alloc(entries as u64 * 4096)
+            .expect("chip memory for PRP-list slots");
+        let sq_bus = ChipWindow::bus_addr(sq_local);
+        let cq_bus = ChipWindow::bus_addr(cq_local);
+        BackEndPort {
+            ssd,
+            sq: SubmissionQueue::new(QueueId(1), sq_bus, entries),
+            cq: CompletionQueue::new(QueueId(1), cq_bus, entries),
+            sq_bus,
+            cq_bus,
+            entries,
+            outstanding: vec![None; entries as usize],
+            free_cids: (0..entries).rev().collect(),
+            list_slots: (0..entries as u64)
+                .map(|i| ChipWindow::bus_addr(list_base + i * 4096))
+                .collect(),
+            forwarded: 0,
+            completed: 0,
+        }
+    }
+
+    /// The SSD this port drives.
+    pub fn ssd(&self) -> SsdId {
+        self.ssd
+    }
+
+    /// Builds the SSD-side ring descriptors over the same chip memory.
+    pub fn ssd_side_rings(&self) -> (SubmissionQueue, CompletionQueue) {
+        (
+            SubmissionQueue::new(QueueId(1), self.sq_bus, self.entries),
+            CompletionQueue::new(QueueId(1), self.cq_bus, self.entries),
+        )
+    }
+
+    /// Commands currently in flight to the SSD.
+    pub fn inflight(&self) -> usize {
+        self.entries as usize - self.free_cids.len()
+    }
+
+    /// Whether a slot (back-end CID + ring space) is available.
+    pub fn has_capacity(&self) -> bool {
+        !self.free_cids.is_empty() && !self.sq.is_full()
+    }
+
+    /// Reserves a back-end CID for a command, recording its origin.
+    /// Returns the CID and the command's dedicated PRP-list slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no capacity remains (callers must gate on
+    /// [`BackEndPort::has_capacity`]).
+    pub fn reserve(&mut self, origin: Outstanding) -> (Cid, PciAddr) {
+        let cid = self.free_cids.pop().expect("back-end CID available");
+        self.outstanding[cid as usize] = Some(origin);
+        self.forwarded += 1;
+        (Cid(cid), self.list_slots[cid as usize])
+    }
+
+    /// Pushes a rewritten SQE into the back-end ring; returns the new
+    /// tail for the doorbell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full.
+    pub fn push_sqe(&mut self, chip: &mut HostMemory, sqe_bytes: &[u8; SQE_SIZE as usize]) -> u32 {
+        assert!(!self.sq.is_full(), "back-end SQ overflow");
+        // Raw push: write bytes at tail through the chip window.
+        let mut win = ChipWindow(chip);
+        let sqe = bm_nvme::Sqe::from_bytes(sqe_bytes).expect("engine-built SQE parses");
+        self.sq.push(&mut win, &sqe).expect("capacity checked");
+        self.sq.tail() as u32
+    }
+
+    /// Polls the back-end CQ for completions the SSD posted, resolving
+    /// each back-end CID to its origin. Also returns the CQ head for the
+    /// SSD-side doorbell.
+    pub fn drain_completions(&mut self, chip: &mut HostMemory) -> (Vec<(Outstanding, Cqe)>, u32) {
+        let mut out = Vec::new();
+        let mut win = ChipWindow(chip);
+        while let Some(cqe) = self.cq.poll(&mut win) {
+            // The CQE reports how far the SSD consumed our SQ; adopt it
+            // so the engine-side ring view frees those slots.
+            self.sq.sync_head(cqe.sq_head);
+            let cid = cqe.cid.0;
+            if let Some(origin) = self.outstanding[cid as usize].take() {
+                self.free_cids.push(cid);
+                self.completed += 1;
+                out.push((origin, cqe));
+            }
+        }
+        (out, self.cq.head() as u32)
+    }
+
+    /// Snapshot of all in-flight origins (hot-upgrade context save).
+    pub fn inflight_origins(&self) -> Vec<Outstanding> {
+        self.outstanding.iter().flatten().copied().collect()
+    }
+
+    /// Commands forwarded to this SSD so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Completions received from this SSD so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+/// The adaptor: one [`BackEndPort`] per attached SSD.
+#[derive(Debug)]
+pub struct HostAdaptor {
+    ports: Vec<BackEndPort>,
+}
+
+impl HostAdaptor {
+    /// Creates ports for `ssds` devices with `entries`-deep rings.
+    pub fn new(ssds: usize, entries: u16, chip: &mut HostMemory) -> Self {
+        HostAdaptor {
+            ports: (0..ssds)
+                .map(|i| BackEndPort::new(SsdId(i as u8), entries, chip))
+                .collect(),
+        }
+    }
+
+    /// Number of ports.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the adaptor has no ports.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// The port for `ssd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssd` has no port.
+    pub fn port(&self, ssd: SsdId) -> &BackEndPort {
+        &self.ports[ssd.0 as usize]
+    }
+
+    /// Mutable access to the port for `ssd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssd` has no port.
+    pub fn port_mut(&mut self, ssd: SsdId) -> &mut BackEndPort {
+        &mut self.ports[ssd.0 as usize]
+    }
+
+    /// Iterates over all ports.
+    pub fn ports(&self) -> impl Iterator<Item = &BackEndPort> {
+        self.ports.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_nvme::command::IoOpcode;
+    use bm_nvme::types::{Lba, Nsid};
+    use bm_nvme::Sqe;
+
+    fn origin(i: u8) -> Outstanding {
+        Outstanding {
+            func: FunctionId::new(i).unwrap(),
+            host_qid: QueueId(1),
+            host_cid: Cid(i as u16 * 10),
+            bytes: 4096,
+            is_write: false,
+            fetched_at: SimTime::ZERO,
+        }
+    }
+
+    fn sample_sqe(cid: Cid) -> [u8; 64] {
+        Sqe::io(
+            IoOpcode::Read,
+            cid,
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            8,
+            PciAddr::new(0x10_0000),
+            PciAddr::NULL,
+        )
+        .to_bytes()
+    }
+
+    #[test]
+    fn reserve_and_resolve_round_trip() {
+        let mut chip = HostMemory::new(64 << 20);
+        let mut port = BackEndPort::new(SsdId(0), 64, &mut chip);
+        let (cid1, slot1) = port.reserve(origin(1));
+        let (cid2, slot2) = port.reserve(origin(2));
+        assert_ne!(cid1, cid2);
+        assert_ne!(slot1, slot2);
+        assert_eq!(port.inflight(), 2);
+
+        // SSD completes cid2 then cid1.
+        let (ssd_sq, mut ssd_cq) = port.ssd_side_rings();
+        let _ = ssd_sq;
+        let mut win = ChipWindow(&mut chip);
+        ssd_cq
+            .post(&mut win, Cqe::success(cid2, QueueId(1), 0, false))
+            .unwrap();
+        ssd_cq
+            .post(&mut win, Cqe::success(cid1, QueueId(1), 0, false))
+            .unwrap();
+        let (done, head) = port.drain_completions(&mut chip);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, origin(2));
+        assert_eq!(done[1].0, origin(1));
+        assert_eq!(head, 2);
+        assert_eq!(port.inflight(), 0);
+        assert_eq!(port.completed(), 2);
+    }
+
+    #[test]
+    fn sqe_bytes_travel_through_chip_ring() {
+        let mut chip = HostMemory::new(64 << 20);
+        let mut port = BackEndPort::new(SsdId(0), 16, &mut chip);
+        let bytes = sample_sqe(Cid(5));
+        let tail = port.push_sqe(&mut chip, &bytes);
+        assert_eq!(tail, 1);
+        // The SSD-side ring fetches the same bytes.
+        let (mut ssd_sq, _) = port.ssd_side_rings();
+        ssd_sq.doorbell_tail(tail).unwrap();
+        let mut win = ChipWindow(&mut chip);
+        let got = ssd_sq.fetch(&mut win).unwrap().unwrap();
+        assert_eq!(got.cid, Cid(5));
+    }
+
+    #[test]
+    fn capacity_exhausts_at_ring_size() {
+        let mut chip = HostMemory::new(64 << 20);
+        let mut port = BackEndPort::new(SsdId(0), 4, &mut chip);
+        // Ring holds entries-1 = 3 simultaneously.
+        for i in 0..3 {
+            assert!(port.has_capacity());
+            port.reserve(origin(i));
+            port.push_sqe(&mut chip, &sample_sqe(Cid(i as u16)));
+        }
+        assert!(!port.has_capacity());
+    }
+
+    #[test]
+    fn inflight_snapshot_for_context_save() {
+        let mut chip = HostMemory::new(64 << 20);
+        let mut port = BackEndPort::new(SsdId(0), 16, &mut chip);
+        port.reserve(origin(1));
+        port.reserve(origin(2));
+        let snap = port.inflight_origins();
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn adaptor_indexes_ports_by_ssd() {
+        let mut chip = HostMemory::new(256 << 20);
+        let adaptor = HostAdaptor::new(4, 64, &mut chip);
+        assert_eq!(adaptor.len(), 4);
+        assert_eq!(adaptor.port(SsdId(2)).ssd(), SsdId(2));
+        assert_eq!(adaptor.ports().count(), 4);
+    }
+}

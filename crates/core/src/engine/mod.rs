@@ -1,0 +1,1417 @@
+//! The BMS-Engine — the FPGA half of BM-Store (paper Fig. 3, §IV).
+//!
+//! Six modules, exactly the paper's decomposition:
+//!
+//! | paper module       | here                |
+//! |--------------------|---------------------|
+//! | SR-IOV layer       | [`front_end`]       |
+//! | Target controller  | [`BmsEngine`] glue  |
+//! | I/O (LBA) mapping  | [`mapping`]         |
+//! | QoS                | [`qos`]             |
+//! | DMA request routing| [`dma_routing`]     |
+//! | Host adaptor       | [`host_adaptor`]    |
+//!
+//! plus the I/O counters ([`counters`]) and the Table II resource model
+//! ([`resources`]).
+//!
+//! The engine is a *pure state machine*: methods take the current
+//! simulated time and memory handles and return [`EngineAction`]s with
+//! explicit timestamps; the testbed turns actions into scheduled events.
+//! Per-stage latencies ([`EngineTiming`]) sum to the ~3 µs extra round
+//! trip the paper measures (§V-B).
+
+pub mod counters;
+pub mod dma_routing;
+pub mod front_end;
+pub mod host_adaptor;
+pub mod mapping;
+pub mod qos;
+pub mod resources;
+
+use crate::engine::counters::IoCounters;
+use crate::engine::dma_routing::{DmaRouter, GlobalPrp, RoutingStats};
+use crate::engine::front_end::{Binding, FrontEndFunction};
+use crate::engine::host_adaptor::{HostAdaptor, Outstanding};
+use crate::engine::mapping::{ChunkAllocator, MappingTable, ENTRIES_PER_ROW};
+use crate::engine::qos::{Admission, NamespaceQos, QosLimit};
+use bm_nvme::command::{AdminOpcode, IoOpcode, Opcode, Sqe};
+use bm_nvme::identify::{IdentifyController, IdentifyNamespace};
+use bm_nvme::queue::DoorbellLayout;
+use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
+use bm_nvme::{Cqe, Status};
+use bm_pcie::memory::PAGE_SIZE;
+use bm_pcie::{FunctionId, HostMemory, PciAddr, SriovConfig};
+use bm_sim::resource::BandwidthLink;
+use bm_sim::{SimDuration, SimTime};
+use bm_ssd::SsdId;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Per-stage latencies of the hardware pipeline.
+///
+/// Calibrated so the full extra round trip (fetch + pipeline + forward
+/// on the way down, CQE forward + interrupt on the way up) is ~3 µs —
+/// the constant overhead Table V measures for BM-Store over native.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineTiming {
+    /// Host doorbell rings → SQE fetched into the engine.
+    pub command_fetch: SimDuration,
+    /// LBA mapping + QoS + command rewrite (pipelined in hardware).
+    pub pipeline: SimDuration,
+    /// Push into the back-end ring + back-end doorbell.
+    pub backend_forward: SimDuration,
+    /// Back-end CQE observed → host CQE written.
+    pub cqe_forward: SimDuration,
+    /// MSI to the host function.
+    pub interrupt: SimDuration,
+    /// Handling time for admin commands answered by the engine.
+    pub admin_processing: SimDuration,
+}
+
+impl Default for EngineTiming {
+    fn default() -> Self {
+        EngineTiming {
+            command_fetch: SimDuration::from_nanos(900),
+            pipeline: SimDuration::from_nanos(200),
+            backend_forward: SimDuration::from_nanos(500),
+            cqe_forward: SimDuration::from_nanos(800),
+            interrupt: SimDuration::from_nanos(600),
+            admin_processing: SimDuration::from_us(5),
+        }
+    }
+}
+
+impl EngineTiming {
+    /// The total engine-added round-trip latency.
+    pub fn round_trip(&self) -> SimDuration {
+        self.command_fetch
+            + self.pipeline
+            + self.backend_forward
+            + self.cqe_forward
+            + self.interrupt
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Front-end SR-IOV shape.
+    pub sriov: SriovConfig,
+    /// Back-end SSD count (≤ 4 in the shipped hardware).
+    pub ssd_count: usize,
+    /// Capacity of each back-end SSD.
+    pub ssd_capacity_bytes: u64,
+    /// Depth of each back-end SQ/CQ ring.
+    pub backend_queue_entries: u16,
+    /// Engine chip (BRAM/URAM-backed) memory size.
+    pub chip_mem_bytes: u64,
+    /// Logical block size of all namespaces.
+    pub block_size: u64,
+    /// Mapping-table rows.
+    pub mapping_rows: usize,
+    /// Pipeline latencies.
+    pub timing: EngineTiming,
+    /// Ablation: when set, the engine *buffers data in its own DRAM*
+    /// instead of routing DMA zero-copy — every payload byte crosses
+    /// the card memory at this rate (bytes/s), once on each direction
+    /// of the store-and-forward. `None` = the paper's zero-copy design.
+    pub store_and_forward_bw: Option<f64>,
+}
+
+impl EngineConfig {
+    /// The paper's shipped configuration: 4 PFs + 124 VFs front-end,
+    /// up to 4 × 2 TB P4510 back-end, 64 GB chunks.
+    pub fn paper_default(ssd_count: usize) -> Self {
+        EngineConfig {
+            sriov: SriovConfig::bm_store_default(),
+            ssd_count,
+            ssd_capacity_bytes: 2_000_000_000_000,
+            backend_queue_entries: 1024,
+            chip_mem_bytes: 64 << 20,
+            block_size: 4096,
+            mapping_rows: 128,
+            timing: EngineTiming::default(),
+            store_and_forward_bw: None,
+        }
+    }
+
+    /// The store-and-forward ablation variant (see
+    /// [`EngineConfig::store_and_forward_bw`]); `bw` is the card DRAM's
+    /// effective copy bandwidth.
+    pub fn with_store_and_forward(mut self, bw: f64) -> Self {
+        self.store_and_forward_bw = Some(bw);
+        self
+    }
+}
+
+/// Timed effects the engine hands back to the simulation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineAction {
+    /// Ring the back-end doorbell of `ssd` with `tail` at `at`.
+    BackendDoorbell {
+        /// Target SSD.
+        ssd: SsdId,
+        /// New SQ tail value.
+        tail: u32,
+        /// When the doorbell write lands.
+        at: SimTime,
+    },
+    /// Complete a host command: post the CQE and raise the interrupt at
+    /// `at` (call [`BmsEngine::deliver_host_completion`]).
+    HostCompletion {
+        /// Front-end function.
+        func: FunctionId,
+        /// Host queue.
+        qid: QueueId,
+        /// Host command id.
+        cid: Cid,
+        /// Completion status.
+        status: Status,
+        /// When the CQE lands in host memory.
+        at: SimTime,
+    },
+    /// QoS buffered a command; call [`BmsEngine::qos_wakeup`] at `at`.
+    QosWakeup {
+        /// When the earliest buffered command releases.
+        at: SimTime,
+    },
+}
+
+/// Why a bind operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindError {
+    /// The function id is outside the configured SR-IOV shape.
+    NoSuchFunction,
+    /// Not enough free chunks on the back-end.
+    OutOfCapacity,
+    /// Not enough mapping-table rows.
+    OutOfRows,
+    /// The function already has a binding.
+    AlreadyBound,
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::NoSuchFunction => write!(f, "no such front-end function"),
+            BindError::OutOfCapacity => write!(f, "insufficient back-end capacity"),
+            BindError::OutOfRows => write!(f, "mapping table exhausted"),
+            BindError::AlreadyBound => write!(f, "function already bound"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Chunk placement policy for a new namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All chunks from one SSD (the paper's §V-B single-disk binding).
+    Single(SsdId),
+    /// Chunks striped round-robin across all SSDs (the §V-D policy).
+    RoundRobin,
+}
+
+/// A command waiting in the engine (QoS-deferred, SSD-paused, or
+/// back-end-full).
+#[derive(Debug, Clone)]
+struct PendingIo {
+    func: FunctionId,
+    host_qid: QueueId,
+    host_cid: Cid,
+    sqe: Sqe,
+    fetched_at: SimTime,
+    /// The host command's original data pointers (the rewrite replaces
+    /// `sqe`'s, but split spans still need to walk the host PRP chain).
+    orig_prp1: PciAddr,
+    orig_prp2: PciAddr,
+    orig_blocks: u32,
+}
+
+/// Heap entry for QoS releases.
+#[derive(Debug)]
+struct QosRelease {
+    at: SimTime,
+    seq: u64,
+    io: PendingIo,
+}
+
+impl PartialEq for QosRelease {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QosRelease {}
+impl PartialOrd for QosRelease {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QosRelease {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq)) // min-heap
+    }
+}
+
+/// Snapshot of in-flight state taken before a hot-upgrade (§IV-D).
+#[derive(Debug, Clone)]
+pub struct IoContext {
+    /// The SSD whose context was saved.
+    pub ssd: SsdId,
+    /// In-flight command origins at save time.
+    pub inflight: Vec<Outstanding>,
+    /// Commands buffered while paused.
+    pub buffered: usize,
+}
+
+/// The BMS-Engine.
+pub struct BmsEngine {
+    cfg: EngineConfig,
+    functions: Vec<FrontEndFunction>,
+    valid_functions: Vec<bool>,
+    mapping: MappingTable,
+    next_free_row: usize,
+    chunk_alloc: ChunkAllocator,
+    adaptor: HostAdaptor,
+    chip: HostMemory,
+    counters: IoCounters,
+    routing_stats: RoutingStats,
+    qos_heap: BinaryHeap<QosRelease>,
+    qos_seq: u64,
+    /// Per-SSD: paused flag and buffered commands.
+    paused: Vec<bool>,
+    backlog: Vec<VecDeque<PendingIo>>,
+    /// Host commands expanded into several back-end commands: counts
+    /// down to zero, tracking the worst status seen.
+    fanout: HashMap<(u8, u16, u16), (u8, Status)>,
+    /// Present only in the store-and-forward ablation.
+    copy_link: Option<BandwidthLink>,
+}
+
+impl std::fmt::Debug for BmsEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BmsEngine")
+            .field("functions", &self.functions.len())
+            .field("ssds", &self.adaptor.len())
+            .field("mapping_rows", &self.mapping.rows())
+            .finish()
+    }
+}
+
+impl BmsEngine {
+    /// Builds an engine from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip memory cannot hold the back-end rings.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let mut chip = HostMemory::new(cfg.chip_mem_bytes);
+        let adaptor = HostAdaptor::new(cfg.ssd_count, cfg.backend_queue_entries, &mut chip);
+        let functions = cfg
+            .sriov
+            .enumerate()
+            .into_iter()
+            .map(|f| FrontEndFunction::new(f.id()))
+            .collect::<Vec<_>>();
+        let total = functions.len();
+        BmsEngine {
+            mapping: MappingTable::new(cfg.mapping_rows, cfg.block_size),
+            next_free_row: 0,
+            chunk_alloc: ChunkAllocator::new(cfg.ssd_count, cfg.ssd_capacity_bytes),
+            adaptor,
+            chip,
+            counters: IoCounters::new(total),
+            routing_stats: RoutingStats::default(),
+            valid_functions: vec![false; total],
+            functions,
+            qos_heap: BinaryHeap::new(),
+            qos_seq: 0,
+            paused: vec![false; cfg.ssd_count],
+            backlog: (0..cfg.ssd_count).map(|_| VecDeque::new()).collect(),
+            fanout: HashMap::new(),
+            copy_link: cfg.store_and_forward_bw.map(BandwidthLink::new),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The engine's timing parameters.
+    pub fn timing(&self) -> &EngineTiming {
+        &self.cfg.timing
+    }
+
+    /// The I/O counter bank (read by the BMS-Controller over AXI).
+    pub fn counters(&self) -> &IoCounters {
+        &self.counters
+    }
+
+    /// DMA routing statistics.
+    pub fn routing_stats(&self) -> RoutingStats {
+        self.routing_stats
+    }
+
+    /// The mapping table (read-only view).
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// Builds the SSD-side ring descriptors for `ssd` (used when the
+    /// testbed attaches a device, and again after hot-plug replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssd` has no back-end port.
+    pub fn ssd_rings(&self, ssd: SsdId) -> (bm_nvme::SubmissionQueue, bm_nvme::CompletionQueue) {
+        self.adaptor.port(ssd).ssd_side_rings()
+    }
+
+    /// The [`DmaRouter`] back-end SSDs DMA through.
+    pub fn dma_router<'a>(&'a mut self, host: &'a mut HostMemory) -> DmaRouter<'a> {
+        DmaRouter::new(
+            host,
+            &mut self.chip,
+            &self.valid_functions,
+            &mut self.routing_stats,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Management plane (called by the BMS-Controller)
+    // ------------------------------------------------------------------
+
+    /// Function state access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is outside the SR-IOV shape.
+    pub fn function(&self, func: FunctionId) -> &FrontEndFunction {
+        &self.functions[func.index() as usize]
+    }
+
+    /// Mutable function state access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is outside the SR-IOV shape.
+    pub fn function_mut(&mut self, func: FunctionId) -> &mut FrontEndFunction {
+        &mut self.functions[func.index() as usize]
+    }
+
+    /// Host enabled/disabled the controller (CC.EN write).
+    pub fn set_function_enabled(&mut self, func: FunctionId, enabled: bool) {
+        self.functions[func.index() as usize].set_enabled(enabled);
+        self.valid_functions[func.index() as usize] = enabled;
+    }
+
+    /// Creates and binds a namespace of `size_bytes` to `func`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BindError`] if the function, capacity, or mapping
+    /// rows are unavailable.
+    pub fn bind_namespace(
+        &mut self,
+        func: FunctionId,
+        size_bytes: u64,
+        placement: Placement,
+    ) -> Result<(), BindError> {
+        let idx = func.index() as usize;
+        if idx >= self.functions.len() {
+            return Err(BindError::NoSuchFunction);
+        }
+        if self.functions[idx].binding().is_some() {
+            return Err(BindError::AlreadyBound);
+        }
+        let chunks = size_bytes.div_ceil(mapping::CHUNK_BYTES) as usize;
+        let rows = Binding::rows_for_chunks(chunks);
+        if self.next_free_row + rows > self.mapping.rows() {
+            return Err(BindError::OutOfRows);
+        }
+        let entries = match placement {
+            Placement::Single(ssd) => self.chunk_alloc.alloc_on(ssd, chunks),
+            Placement::RoundRobin => self.chunk_alloc.alloc_round_robin(chunks),
+        }
+        .map_err(|_| BindError::OutOfCapacity)?;
+        let row_base = self.next_free_row;
+        self.next_free_row += rows;
+        for (i, e) in entries.iter().enumerate() {
+            self.mapping
+                .install(row_base + i / ENTRIES_PER_ROW, i % ENTRIES_PER_ROW, *e)
+                .expect("rows reserved above");
+        }
+        self.functions[idx].bind(Binding {
+            size_bytes,
+            block_size: self.cfg.block_size,
+            row_base,
+            rows,
+            entries,
+            qos: NamespaceQos::new(QosLimit::UNLIMITED),
+        });
+        Ok(())
+    }
+
+    /// Unbinds `func`'s namespace, releasing its chunks. (Mapping rows
+    /// are leaked until the table is rebuilt — matching the simple
+    /// allocator the shipped firmware uses.)
+    ///
+    /// Returns whether a binding existed.
+    pub fn unbind_namespace(&mut self, func: FunctionId) -> bool {
+        let idx = func.index() as usize;
+        match self.functions[idx].unbind() {
+            Some(binding) => {
+                self.chunk_alloc.release(&binding.entries);
+                self.mapping
+                    .clear_rows(binding.row_base, binding.rows)
+                    .expect("binding rows are in-table");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the QoS limit for `func`'s namespace. Returns whether a
+    /// binding existed.
+    pub fn set_qos_limit(&mut self, func: FunctionId, limit: QosLimit) -> bool {
+        self.functions[func.index() as usize].set_qos(limit)
+    }
+
+    /// Pauses forwarding to `ssd` (hot-upgrade/hot-plug quiesce):
+    /// commands targeting it buffer inside the engine.
+    pub fn pause_ssd(&mut self, ssd: SsdId) {
+        self.paused[ssd.0 as usize] = true;
+    }
+
+    /// Whether `ssd` is paused.
+    pub fn is_paused(&self, ssd: SsdId) -> bool {
+        self.paused[ssd.0 as usize]
+    }
+
+    /// Saves the I/O context for `ssd` (paper: "store I/O context
+    /// during firmware upgrading").
+    pub fn save_io_context(&self, ssd: SsdId) -> IoContext {
+        IoContext {
+            ssd,
+            inflight: self.adaptor.port(ssd).inflight_origins(),
+            buffered: self.backlog[ssd.0 as usize].len(),
+        }
+    }
+
+    /// Resumes forwarding to `ssd`, flushing buffered commands.
+    pub fn resume_ssd(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        host: &mut HostMemory,
+    ) -> Vec<EngineAction> {
+        self.paused[ssd.0 as usize] = false;
+        self.drain_backlog(now, ssd, host)
+    }
+
+    /// Rewrites every mapping entry targeting `from` to `to` — the
+    /// hot-plug identity-preserving replacement (§IV-D). Returns how
+    /// many entries were rewritten.
+    pub fn retarget_ssd(&mut self, from: SsdId, to: SsdId) -> usize {
+        self.mapping.retarget_ssd(from, to)
+    }
+
+    // ------------------------------------------------------------------
+    // Host-facing data plane
+    // ------------------------------------------------------------------
+
+    /// Host MMIO write into a function's BAR0.
+    ///
+    /// Doorbell writes drive the whole fetch-map-forward pipeline;
+    /// anything else is a register write the model tracks elsewhere.
+    pub fn host_doorbell_write(
+        &mut self,
+        now: SimTime,
+        func: FunctionId,
+        bar_offset: u64,
+        value: u32,
+        host: &mut HostMemory,
+    ) -> Vec<EngineAction> {
+        let Some((qid, is_cq)) = DoorbellLayout::decode(bar_offset) else {
+            return Vec::new();
+        };
+        let f = &mut self.functions[func.index() as usize];
+        let Some(pair) = f.queue(qid) else {
+            return Vec::new();
+        };
+        if is_cq {
+            // Host consumed completions.
+            let _ = pair.cq.doorbell_head(value);
+            return Vec::new();
+        }
+        if pair.sq.doorbell_tail(value).is_err() {
+            return Vec::new();
+        }
+        // Fetch every newly published SQE.
+        let mut sqes = Vec::new();
+        loop {
+            let f = &mut self.functions[func.index() as usize];
+            let pair = f.queue(qid).expect("checked above");
+            if pair.sq.is_empty() {
+                break;
+            }
+            match pair.sq.fetch(host) {
+                Ok(Some(sqe)) => sqes.push(sqe),
+                Ok(None) => break,
+                Err(status) => {
+                    sqes.push(Sqe::admin(
+                        AdminOpcode::GetFeatures,
+                        Cid(0xFFFF),
+                        0,
+                        PciAddr::NULL,
+                    ));
+                    // Mark: handled below as error by the sentinel CID.
+                    let _ = status;
+                }
+            }
+        }
+        let fetch_at = now + self.cfg.timing.command_fetch;
+        let mut actions = Vec::new();
+        for sqe in sqes {
+            if sqe.cid == Cid(0xFFFF) {
+                actions.push(EngineAction::HostCompletion {
+                    func,
+                    qid,
+                    cid: Cid(0xFFFF),
+                    status: Status::InvalidOpcode,
+                    at: fetch_at + self.cfg.timing.admin_processing,
+                });
+                continue;
+            }
+            match sqe.opcode {
+                Opcode::Admin(op) => {
+                    let status = self.handle_admin(func, op, &sqe, host);
+                    actions.push(EngineAction::HostCompletion {
+                        func,
+                        qid,
+                        cid: sqe.cid,
+                        status,
+                        at: fetch_at + self.cfg.timing.admin_processing,
+                    });
+                }
+                Opcode::Io(_) => {
+                    self.handle_io(
+                        fetch_at,
+                        PendingIo {
+                            func,
+                            host_qid: qid,
+                            host_cid: sqe.cid,
+                            orig_prp1: sqe.prp1,
+                            orig_prp2: sqe.prp2,
+                            orig_blocks: sqe.nlb_blocks(),
+                            sqe,
+                            fetched_at: fetch_at,
+                        },
+                        host,
+                        &mut actions,
+                    );
+                }
+            }
+        }
+        actions
+    }
+
+    fn handle_admin(
+        &mut self,
+        func: FunctionId,
+        op: AdminOpcode,
+        sqe: &Sqe,
+        host: &mut HostMemory,
+    ) -> Status {
+        let idx = func.index() as usize;
+        match op {
+            AdminOpcode::Identify => {
+                let cns = sqe.cdw10 & 0xFF;
+                let page = if cns == 1 {
+                    IdentifyController::bm_store_front_end(func.index()).to_page()
+                } else {
+                    match self.functions[idx].binding() {
+                        Some(b) => IdentifyNamespace {
+                            nsze: b.blocks(),
+                            block_size: b.block_size,
+                        }
+                        .to_page(),
+                        None => IdentifyNamespace {
+                            nsze: 0,
+                            block_size: self.cfg.block_size,
+                        }
+                        .to_page(),
+                    }
+                };
+                if !sqe.prp1.is_null() {
+                    host.write(sqe.prp1, &page);
+                }
+                Status::Success
+            }
+            AdminOpcode::CreateIoCq => {
+                let qid = QueueId((sqe.cdw10 & 0xFFFF) as u16);
+                let entries = ((sqe.cdw10 >> 16) as u16) + 1;
+                if self.functions[idx].create_io_cq(qid, sqe.prp1, entries) {
+                    Status::Success
+                } else {
+                    Status::InvalidField
+                }
+            }
+            AdminOpcode::CreateIoSq => {
+                let qid = QueueId((sqe.cdw10 & 0xFFFF) as u16);
+                let entries = ((sqe.cdw10 >> 16) as u16) + 1;
+                if self.functions[idx].create_io_sq(qid, sqe.prp1, entries) {
+                    Status::Success
+                } else {
+                    Status::InvalidField
+                }
+            }
+            AdminOpcode::DeleteIoSq | AdminOpcode::DeleteIoCq => {
+                let qid = QueueId((sqe.cdw10 & 0xFFFF) as u16);
+                if self.functions[idx].delete_io_queue(qid) || op == AdminOpcode::DeleteIoCq {
+                    Status::Success
+                } else {
+                    Status::InvalidField
+                }
+            }
+            AdminOpcode::SetFeatures | AdminOpcode::GetFeatures | AdminOpcode::GetLogPage => {
+                Status::Success
+            }
+            // Tenants cannot touch physical firmware through a virtual
+            // controller; the out-of-band path owns it (§IV-D).
+            AdminOpcode::FirmwareDownload | AdminOpcode::FirmwareCommit => Status::InvalidOpcode,
+        }
+    }
+
+    /// The target-controller I/O path: validate → QoS → map → rewrite →
+    /// forward.
+    fn handle_io(
+        &mut self,
+        now: SimTime,
+        io: PendingIo,
+        host: &mut HostMemory,
+        actions: &mut Vec<EngineAction>,
+    ) {
+        let idx = io.func.index() as usize;
+        let bytes = io.sqe.transfer_len(self.cfg.block_size);
+        // Validation against the binding.
+        let valid = match self.functions[idx].binding() {
+            Some(b) => {
+                io.sqe.nsid == Some(Nsid::new(1).expect("valid"))
+                    && (io.sqe.io_opcode() == Some(IoOpcode::Flush)
+                        || io
+                            .sqe
+                            .slba
+                            .checked_add(io.sqe.nlb_blocks() as u64)
+                            .is_some_and(|end| end.raw() <= b.blocks()))
+            }
+            None => false,
+        };
+        if !valid {
+            let status = if self.functions[idx].binding().is_none() {
+                Status::InvalidNamespace
+            } else {
+                Status::LbaOutOfRange
+            };
+            self.counters.record(io.func, false, 0, true);
+            actions.push(EngineAction::HostCompletion {
+                func: io.func,
+                qid: io.host_qid,
+                cid: io.host_cid,
+                status,
+                at: now + self.cfg.timing.pipeline + self.cfg.timing.cqe_forward,
+            });
+            return;
+        }
+        // QoS admission (flush bypasses QoS).
+        if io.sqe.io_opcode() != Some(IoOpcode::Flush) {
+            let binding = self.functions[idx].binding_mut().expect("validated");
+            match binding.qos.admit(now, bytes) {
+                Admission::Immediate => {}
+                Admission::Deferred(at) => {
+                    self.counters.record_deferred(io.func);
+                    self.qos_seq += 1;
+                    self.qos_heap.push(QosRelease {
+                        at,
+                        seq: self.qos_seq,
+                        io,
+                    });
+                    actions.push(EngineAction::QosWakeup { at });
+                    return;
+                }
+            }
+        }
+        self.forward_io(now, io, host, actions);
+    }
+
+    /// Maps and forwards one admitted command, splitting across chunk
+    /// boundaries / fanning out flushes as needed.
+    fn forward_io(
+        &mut self,
+        now: SimTime,
+        io: PendingIo,
+        host: &mut HostMemory,
+        actions: &mut Vec<EngineAction>,
+    ) {
+        let key = (io.func.index(), io.host_qid.0, io.host_cid.0);
+        if io.sqe.io_opcode() == Some(IoOpcode::Flush) {
+            // Fan a flush out to every SSD backing the namespace.
+            let idx = io.func.index() as usize;
+            let binding = self.functions[idx].binding().expect("validated");
+            let mut ssds: Vec<SsdId> = binding.entries.iter().map(|e| e.ssd()).collect();
+            ssds.sort_unstable();
+            ssds.dedup();
+            self.fanout.insert(key, (ssds.len() as u8, Status::Success));
+            for ssd in ssds {
+                let mut sqe = io.sqe;
+                sqe.nsid = Some(Nsid::new(1).expect("valid"));
+                self.enqueue_backend(now, ssd, PendingIo { sqe, ..io.clone() }, host, actions);
+            }
+            return;
+        }
+        // Split read/write on chunk boundaries.
+        let spans = self.split_spans(&io);
+        self.fanout
+            .insert(key, (spans.len() as u8, Status::Success));
+        for (ssd, pl, block_off, nblocks) in spans {
+            let sqe = self.rewrite_io(&io, pl, block_off, nblocks, host);
+            self.enqueue_backend(now, ssd, PendingIo { sqe, ..io.clone() }, host, actions);
+        }
+    }
+
+    /// Computes the back-end spans of an I/O command:
+    /// `(ssd, physical LBA, block offset into transfer, block count)`.
+    fn split_spans(&self, io: &PendingIo) -> Vec<(SsdId, Lba, u32, u32)> {
+        let binding = self.functions[io.func.index() as usize]
+            .binding()
+            .expect("validated");
+        let cs = self.mapping.chunk_blocks();
+        let mut spans = Vec::with_capacity(1);
+        let mut hl = io.sqe.slba.raw();
+        let mut remaining = io.sqe.nlb_blocks() as u64;
+        let mut offset = 0u32;
+        while remaining > 0 {
+            let in_chunk = cs - (hl % cs);
+            let n = remaining.min(in_chunk);
+            let (ssd, pl) = self
+                .mapping
+                .map(binding.row_base, Lba(hl))
+                .expect("validated against binding size");
+            spans.push((ssd, pl, offset, n as u32));
+            hl += n;
+            offset += n as u32;
+            remaining -= n;
+        }
+        spans
+    }
+
+    /// Builds the rewritten back-end SQE for one span: physical LBA and
+    /// global-PRP-tagged data pointers. `block_off`/`nblocks` select the
+    /// span's slice of the host buffer (block size == page size).
+    fn rewrite_io(
+        &mut self,
+        io: &PendingIo,
+        pl: Lba,
+        block_off: u32,
+        nblocks: u32,
+        host: &mut HostMemory,
+    ) -> Sqe {
+        let func = io.func;
+        let bs = self.cfg.block_size;
+        debug_assert_eq!(bs, PAGE_SIZE, "block==page keeps PRP slicing exact");
+        // Page list of the host buffer.
+        let total_pages = io.orig_blocks as u64;
+        let first = io.orig_prp1;
+        let page_at = |i: u64, host: &mut HostMemory| -> PciAddr {
+            if i == 0 {
+                first
+            } else if total_pages == 2 {
+                io.orig_prp2
+            } else {
+                PciAddr::new(host.read_u64(io.orig_prp2 + (i - 1) * 8))
+            }
+        };
+        let span_first = page_at(block_off as u64, host);
+        let prp1 = GlobalPrp::tag(span_first, func, false);
+        let prp2 = if nblocks == 1 {
+            PciAddr::NULL
+        } else if nblocks == 2 {
+            GlobalPrp::tag(page_at(block_off as u64 + 1, host), func, false)
+        } else {
+            // Write a tagged PRP list into chip memory; the slot is
+            // assigned at enqueue time, so stage into a scratch list the
+            // enqueue path copies. To keep a single pass, allocate the
+            // slot here via a two-phase trick: build the list bytes now.
+            PciAddr::NULL // placeholder; enqueue_backend fills the slot
+        };
+        let mut sqe = Sqe::io(
+            io.sqe.io_opcode().expect("I/O command"),
+            io.host_cid, // replaced with the back-end CID at enqueue
+            Nsid::new(1).expect("valid"),
+            pl,
+            nblocks,
+            prp1,
+            prp2,
+        );
+        // Stash the span's block offset so enqueue_backend can build the
+        // PRP list; cdw12 upper bits are reserved in our subset.
+        sqe.cdw12 |= (block_off) << 16;
+        sqe
+    }
+
+    /// Queues one rewritten command toward `ssd` (or buffers it if the
+    /// SSD is paused / the ring is full).
+    fn enqueue_backend(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        io: PendingIo,
+        host: &mut HostMemory,
+        actions: &mut Vec<EngineAction>,
+    ) {
+        let sidx = ssd.0 as usize;
+        if self.paused[sidx]
+            || !self.backlog[sidx].is_empty()
+            || !self.adaptor.port(ssd).has_capacity()
+        {
+            self.backlog[sidx].push_back(io);
+            return;
+        }
+        let action = self.push_to_port(now, ssd, io, host);
+        actions.push(action);
+    }
+
+    fn push_to_port(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        io: PendingIo,
+        host: &mut HostMemory,
+    ) -> EngineAction {
+        let bytes = io.sqe.transfer_len(self.cfg.block_size);
+        let is_write = io.sqe.io_opcode() == Some(IoOpcode::Write);
+        let port = self.adaptor.port_mut(ssd);
+        let (backend_cid, list_slot) = port.reserve(Outstanding {
+            func: io.func,
+            host_qid: io.host_qid,
+            host_cid: io.host_cid,
+            bytes,
+            is_write,
+            fetched_at: io.fetched_at,
+        });
+        let mut sqe = io.sqe;
+        let block_off = (sqe.cdw12 >> 16) as u64;
+        let nblocks = sqe.nlb_blocks();
+        sqe.cdw12 &= 0xFFFF; // strip the stashed offset
+        sqe.cid = backend_cid;
+        // Large spans: build the tagged PRP list in the command's chip
+        // slot (the "global PRP stored into chip memory" of §IV-C).
+        if sqe.io_opcode() != Some(IoOpcode::Flush) && nblocks > 2 && sqe.prp2.is_null() {
+            // Recover each span block's host page by walking the host
+            // command's original PRP chain.
+            let mut entries = Vec::with_capacity(nblocks as usize - 1);
+            for i in 1..nblocks as u64 {
+                let host_page = self.host_page_of(&io, block_off + i, host);
+                entries.push(GlobalPrp::tag(host_page, io.func, false).raw());
+            }
+            let mut win = dma_routing::ChipWindow(&mut self.chip);
+            use bm_pcie::DmaContext;
+            for (i, e) in entries.iter().enumerate() {
+                win.dma_write_u64(list_slot + i as u64 * 8, *e);
+            }
+            sqe.prp2 = list_slot;
+        }
+        let port = self.adaptor.port_mut(ssd);
+        let tail = port.push_sqe(&mut self.chip, &sqe.to_bytes());
+        let mut at = now + self.cfg.timing.pipeline + self.cfg.timing.backend_forward;
+        // Store-and-forward ablation: write payloads must land in card
+        // DRAM before the SSD can fetch them.
+        if is_write && bytes > 0 {
+            if let Some(link) = &mut self.copy_link {
+                at = at.max(link.transfer(now, bytes));
+            }
+        }
+        EngineAction::BackendDoorbell { ssd, tail, at }
+    }
+
+    /// Resolves the host page backing block `abs_block` of the original
+    /// command (by walking the host's PRP chain).
+    fn host_page_of(&self, io: &PendingIo, abs_block: u64, host: &mut HostMemory) -> PciAddr {
+        let total = io.orig_blocks as u64;
+        if abs_block == 0 {
+            return io.orig_prp1;
+        }
+        if total == 2 {
+            return io.orig_prp2;
+        }
+        if io.orig_prp2.is_null() {
+            // Contiguous single-buffer fallback.
+            return PciAddr::new(io.orig_prp1.raw() + abs_block * PAGE_SIZE);
+        }
+        PciAddr::new(host.read_u64(io.orig_prp2 + (abs_block - 1) * 8))
+    }
+
+    /// Releases QoS-buffered commands due at `now`.
+    pub fn qos_wakeup(&mut self, now: SimTime, host: &mut HostMemory) -> Vec<EngineAction> {
+        let mut actions = Vec::new();
+        while let Some(top) = self.qos_heap.peek() {
+            if top.at > now {
+                actions.push(EngineAction::QosWakeup { at: top.at });
+                break;
+            }
+            let rel = self.qos_heap.pop().expect("peeked");
+            // Keep the namespace's buffer bookkeeping in sync.
+            if let Some(b) = self.functions[rel.io.func.index() as usize].binding_mut() {
+                let _ = b.qos.pop_due(now);
+            }
+            self.forward_io(now, rel.io, host, &mut actions);
+        }
+        actions
+    }
+
+    /// Handles completions the SSD posted into its back-end CQ: resolves
+    /// origins, counts down fan-outs, and emits host completions.
+    /// Also returns the CQ head to acknowledge to the SSD.
+    pub fn on_backend_completion(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        host: &mut HostMemory,
+    ) -> (Vec<EngineAction>, u32) {
+        let (done, cq_head) = self.adaptor.port_mut(ssd).drain_completions(&mut self.chip);
+        let mut actions = Vec::new();
+        for (origin, cqe) in done {
+            self.finish_origin(now, origin, cqe.status, &mut actions);
+        }
+        // Freed slots: drain any backlog.
+        let mut drained = self.drain_backlog(now, ssd, host);
+        actions.append(&mut drained);
+        (actions, cq_head)
+    }
+
+    fn finish_origin(
+        &mut self,
+        now: SimTime,
+        origin: Outstanding,
+        status: Status,
+        actions: &mut Vec<EngineAction>,
+    ) {
+        let key = (origin.func.index(), origin.host_qid.0, origin.host_cid.0);
+        let entry = self.fanout.get_mut(&key);
+        let finished = match entry {
+            Some((remaining, worst)) => {
+                if !status.is_success() {
+                    *worst = status;
+                }
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let (_, worst) = self.fanout.remove(&key).expect("present");
+                    Some(worst)
+                } else {
+                    None
+                }
+            }
+            None => Some(status), // untracked (defensive)
+        };
+        if let Some(final_status) = finished {
+            self.counters.record(
+                origin.func,
+                origin.is_write,
+                origin.bytes,
+                !final_status.is_success(),
+            );
+            let mut at = now + self.cfg.timing.cqe_forward;
+            // Store-and-forward ablation: read payloads cross the card
+            // DRAM on the way up.
+            if !origin.is_write && origin.bytes > 0 {
+                if let Some(link) = &mut self.copy_link {
+                    at = at.max(link.transfer(now, origin.bytes) + self.cfg.timing.cqe_forward);
+                }
+            }
+            actions.push(EngineAction::HostCompletion {
+                func: origin.func,
+                qid: origin.host_qid,
+                cid: origin.host_cid,
+                status: final_status,
+                at,
+            });
+        }
+    }
+
+    fn drain_backlog(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        host: &mut HostMemory,
+    ) -> Vec<EngineAction> {
+        let sidx = ssd.0 as usize;
+        let mut actions = Vec::new();
+        while !self.paused[sidx]
+            && !self.backlog[sidx].is_empty()
+            && self.adaptor.port(ssd).has_capacity()
+        {
+            let io = self.backlog[sidx].pop_front().expect("non-empty");
+            let action = self.push_to_port(now, ssd, io, host);
+            actions.push(action);
+        }
+        actions
+    }
+
+    /// Posts a host CQE (call at the action's `at` time). Returns `true`
+    /// when an MSI should be raised `timing.interrupt` later.
+    pub fn deliver_host_completion(
+        &mut self,
+        func: FunctionId,
+        qid: QueueId,
+        cid: Cid,
+        status: Status,
+        host: &mut HostMemory,
+    ) -> bool {
+        let f = &mut self.functions[func.index() as usize];
+        let Some(pair) = f.queue(qid) else {
+            return false;
+        };
+        let cqe = Cqe {
+            result: 0,
+            sq_head: pair.sq.head(),
+            sq_id: qid,
+            cid,
+            phase: false,
+            status,
+        };
+        pair.cq.post(host, cqe).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> (BmsEngine, HostMemory) {
+        let engine = BmsEngine::new(EngineConfig::paper_default(4));
+        let host = HostMemory::new(1 << 30);
+        (engine, host)
+    }
+
+    fn fid(i: u8) -> FunctionId {
+        FunctionId::new(i).unwrap()
+    }
+
+    #[test]
+    fn timing_sums_to_three_microseconds() {
+        let t = EngineTiming::default();
+        let rt = t.round_trip().as_micros_f64();
+        assert!((2.5..3.5).contains(&rt), "round trip {rt}");
+    }
+
+    #[test]
+    fn bind_allocates_rows_and_chunks() {
+        let (mut engine, _) = engine();
+        // The paper's 1536 GB single-SSD binding = 24 chunks, 3 rows.
+        engine
+            .bind_namespace(fid(0), 1536 << 30, Placement::Single(SsdId(0)))
+            .unwrap();
+        let b = engine.function(fid(0)).binding().unwrap();
+        assert_eq!(b.entries.len(), 24);
+        assert_eq!(b.rows, 3);
+        assert!(b.entries.iter().all(|e| e.ssd() == SsdId(0)));
+        // Mapping resolves inside the binding.
+        let (ssd, _) = engine.mapping().map(b.row_base, Lba(0)).unwrap();
+        assert_eq!(ssd, SsdId(0));
+    }
+
+    #[test]
+    fn bind_errors() {
+        let (mut engine, _) = engine();
+        engine
+            .bind_namespace(fid(1), 256 << 30, Placement::RoundRobin)
+            .unwrap();
+        assert_eq!(
+            engine.bind_namespace(fid(1), 1 << 30, Placement::RoundRobin),
+            Err(BindError::AlreadyBound)
+        );
+        // 4 × 2 TB = 124 chunks total; 120 remain after the first bind.
+        assert_eq!(
+            engine.bind_namespace(fid(2), 10_000 << 30, Placement::RoundRobin),
+            Err(BindError::OutOfCapacity)
+        );
+    }
+
+    #[test]
+    fn unbind_releases_capacity() {
+        let (mut engine, _) = engine();
+        engine
+            .bind_namespace(fid(0), 256 << 30, Placement::RoundRobin)
+            .unwrap();
+        assert!(engine.unbind_namespace(fid(0)));
+        assert!(!engine.unbind_namespace(fid(0)));
+        // Chunks came back.
+        engine
+            .bind_namespace(fid(1), 256 << 30, Placement::RoundRobin)
+            .unwrap();
+    }
+
+    #[test]
+    fn doorbell_to_backend_flow() {
+        let (mut engine, mut host) = engine();
+        engine
+            .bind_namespace(fid(0), 256 << 30, Placement::Single(SsdId(2)))
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        // Host creates rings.
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        // Host pushes a read SQE and rings the doorbell.
+        let buf = host.alloc(4096).unwrap();
+        let sqe = Sqe::io(
+            IoOpcode::Read,
+            Cid(7),
+            Nsid::new(1).unwrap(),
+            Lba(100),
+            1,
+            buf,
+            PciAddr::NULL,
+        );
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 64);
+        host_sq.push(&mut host, &sqe).unwrap();
+        let actions = engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            EngineAction::BackendDoorbell { ssd, tail, at } => {
+                assert_eq!(ssd, SsdId(2));
+                assert_eq!(tail, 1);
+                assert!(at > SimTime::ZERO);
+            }
+            ref other => panic!("unexpected action {other:?}"),
+        }
+        // The forwarded SQE has a mapped (physical) LBA and tagged PRP1.
+        let (mut ssd_sq, _) = engine.ssd_rings(SsdId(2));
+        ssd_sq.doorbell_tail(1).unwrap();
+        let mut router_host = HostMemory::new(1 << 20);
+        let mut router = engine.dma_router(&mut router_host);
+        let fwd = ssd_sq.fetch(&mut router).unwrap().unwrap();
+        assert!(GlobalPrp::is_tagged(fwd.prp1) || fwd.prp1 == buf);
+        let (untagged, func, _) = GlobalPrp::untag(fwd.prp1);
+        assert_eq!(untagged, buf);
+        assert_eq!(func, fid(0));
+        // Physical LBA differs from host LBA unless chunk 0 mapped to 0.
+        let b = engine.function(fid(0)).binding().unwrap();
+        let (_, pl) = engine.mapping().map(b.row_base, Lba(100)).unwrap();
+        assert_eq!(fwd.slba, pl);
+    }
+
+    #[test]
+    fn unbound_function_gets_invalid_namespace() {
+        let (mut engine, mut host) = engine();
+        engine.set_function_enabled(fid(5), true);
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(5))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(5))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        let sqe = Sqe::io(
+            IoOpcode::Write,
+            Cid(1),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            1,
+            PciAddr::new(0x5000),
+            PciAddr::NULL,
+        );
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 64);
+        host_sq.push(&mut host, &sqe).unwrap();
+        let actions = engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(5),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        assert!(matches!(
+            actions[0],
+            EngineAction::HostCompletion {
+                status: Status::InvalidNamespace,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn paused_ssd_buffers_commands() {
+        let (mut engine, mut host) = engine();
+        engine
+            .bind_namespace(fid(0), 64 << 30, Placement::Single(SsdId(0)))
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        engine.pause_ssd(SsdId(0));
+        let sqe = Sqe::io(
+            IoOpcode::Read,
+            Cid(1),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            1,
+            PciAddr::new(0x8000),
+            PciAddr::NULL,
+        );
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 64);
+        host_sq.push(&mut host, &sqe).unwrap();
+        let actions = engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        assert!(actions.is_empty(), "command buffered, not forwarded");
+        let ctx = engine.save_io_context(SsdId(0));
+        assert_eq!(ctx.buffered, 1);
+        // Resume flushes the buffer.
+        let actions = engine.resume_ssd(SimTime::from_nanos(1000), SsdId(0), &mut host);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            EngineAction::BackendDoorbell { ssd: SsdId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn qos_defers_and_releases() {
+        let (mut engine, mut host) = engine();
+        engine
+            .bind_namespace(fid(0), 64 << 30, Placement::Single(SsdId(0)))
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        engine.set_qos_limit(fid(0), QosLimit::iops(100.0));
+        let sq_base = host.alloc(1024 * 64).unwrap();
+        let cq_base = host.alloc(1024 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 256);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 256);
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 256);
+        // Push 15 commands: the 100 ms burst (10 tokens) passes, 5 defer.
+        for i in 0..15u16 {
+            let sqe = Sqe::io(
+                IoOpcode::Read,
+                Cid(i),
+                Nsid::new(1).unwrap(),
+                Lba(0),
+                1,
+                PciAddr::new(0x8000),
+                PciAddr::NULL,
+            );
+            host_sq.push(&mut host, &sqe).unwrap();
+        }
+        let actions = engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            15,
+            &mut host,
+        );
+        let doorbells = actions
+            .iter()
+            .filter(|a| matches!(a, EngineAction::BackendDoorbell { .. }))
+            .count();
+        let wakeups = actions
+            .iter()
+            .filter(|a| matches!(a, EngineAction::QosWakeup { .. }))
+            .count();
+        assert_eq!(doorbells, 10);
+        assert_eq!(wakeups, 5);
+        assert_eq!(engine.counters().function(fid(0)).qos_deferred, 5);
+        // Wake up after the last release: all five forward.
+        let late = SimTime::ZERO + SimDuration::from_secs(1);
+        let actions = engine.qos_wakeup(late, &mut host);
+        let released = actions
+            .iter()
+            .filter(|a| matches!(a, EngineAction::BackendDoorbell { .. }))
+            .count();
+        assert_eq!(released, 5);
+    }
+
+    #[test]
+    fn io_spanning_three_chunks_fans_out_and_completes_once() {
+        let (mut engine, mut host) = engine();
+        engine
+            .bind_namespace(fid(0), 256 << 30, Placement::RoundRobin)
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        let cs = engine.mapping().chunk_blocks();
+        // Start 8 blocks before a boundary, span 2 whole chunks + a bit:
+        // impossible for one back-end command, so the engine must split.
+        let io = PendingIo {
+            func: fid(0),
+            host_qid: QueueId(1),
+            host_cid: Cid(5),
+            sqe: Sqe::io(
+                IoOpcode::Read,
+                Cid(5),
+                Nsid::new(1).unwrap(),
+                Lba(cs - 8),
+                16,
+                PciAddr::new(0x10_0000),
+                PciAddr::new(0x10_1000),
+            ),
+            fetched_at: SimTime::ZERO,
+            orig_prp1: PciAddr::new(0x10_0000),
+            orig_prp2: PciAddr::new(0x10_1000),
+            orig_blocks: 16,
+        };
+        let spans = engine.split_spans(&io);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].2, 0, "first span starts at block 0");
+        assert_eq!(spans[0].3, 8, "first span covers to the boundary");
+        assert_eq!(spans[1].2, 8);
+        assert_eq!(spans[1].3, 8);
+        // Round-robin placement puts adjacent chunks on different SSDs.
+        assert_ne!(spans[0].0, spans[1].0);
+    }
+
+    #[test]
+    fn retarget_for_hot_plug() {
+        let (mut engine, _) = engine();
+        engine
+            .bind_namespace(fid(0), 256 << 30, Placement::Single(SsdId(1)))
+            .unwrap();
+        let row_base = engine.function(fid(0)).binding().unwrap().row_base;
+        let n = engine.retarget_ssd(SsdId(1), SsdId(3));
+        assert_eq!(n, 4);
+        let (ssd, _) = engine.mapping().map(row_base, Lba(0)).unwrap();
+        assert_eq!(ssd, SsdId(3));
+    }
+}

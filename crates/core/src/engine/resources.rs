@@ -1,0 +1,149 @@
+//! FPGA resource model — paper Table II.
+//!
+//! The reported utilization grows linearly with the number of attached
+//! SSDs; fitting the four published rows gives, per SSD:
+//! +28 000 LUTs, +44 000 registers, +44.4 BRAMs, +10 URAMs over fixed
+//! bases of 188 711 / 182 309 / 481.6 / 39.4. Percentages are against
+//! the ZU19EG totals (522 720 LUTs, 1 045 440 registers, 986 BRAM36s,
+//! 128 URAMs).
+
+/// Device totals for the Xilinx Zynq UltraScale+ ZU19EG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Total LUTs.
+    pub luts: u64,
+    /// Total flip-flop registers.
+    pub registers: u64,
+    /// Total BRAM36 blocks.
+    pub brams: f64,
+    /// Total UltraRAM blocks.
+    pub urams: f64,
+}
+
+impl FpgaDevice {
+    /// The ZU19EG used by the paper (§IV-E).
+    pub fn zu19eg() -> Self {
+        FpgaDevice {
+            luts: 522_720,
+            registers: 1_045_440,
+            brams: 986.0,
+            urams: 128.0,
+        }
+    }
+}
+
+/// One BMS-Engine configuration's resource usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUsage {
+    /// SSDs attached in this configuration.
+    pub ssds: u32,
+    /// LUTs used.
+    pub luts: u64,
+    /// Registers used.
+    pub registers: u64,
+    /// BRAM36 blocks used.
+    pub brams: f64,
+    /// UltraRAM blocks used.
+    pub urams: f64,
+    /// Design clock in MHz (timing closure holds at 250 MHz for every
+    /// published configuration).
+    pub clock_mhz: u32,
+}
+
+impl ResourceUsage {
+    /// Linear model fitted to Table II.
+    pub fn for_ssds(ssds: u32) -> ResourceUsage {
+        let n = ssds as u64;
+        ResourceUsage {
+            ssds,
+            luts: 188_711 + 28_000 * n,
+            registers: 182_309 + 44_000 * n,
+            brams: 481.6 + 44.4 * n as f64,
+            urams: 39.4 + 10.0 * n as f64,
+            clock_mhz: 250,
+        }
+    }
+
+    /// Utilization fractions against `device`, in Table II's order
+    /// (LUTs, registers, BRAMs, URAMs).
+    pub fn utilization(&self, device: &FpgaDevice) -> [f64; 4] {
+        [
+            self.luts as f64 / device.luts as f64,
+            self.registers as f64 / device.registers as f64,
+            self.brams / device.brams,
+            self.urams / device.urams,
+        ]
+    }
+
+    /// How many SSDs fit before any resource class exceeds `budget`
+    /// (e.g. 1.0 = the whole device) — supports the paper's claim that
+    /// 4 SSDs use about half the FPGA and more can be attached.
+    pub fn max_ssds_within(device: &FpgaDevice, budget: f64) -> u32 {
+        let mut n = 0;
+        loop {
+            let next = ResourceUsage::for_ssds(n + 1);
+            if next.utilization(device).iter().any(|&u| u > budget) {
+                return n;
+            }
+            n += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four published rows of Table II.
+    const TABLE_II: [(u32, u64, u64, f64, f64); 4] = [
+        (1, 216_711, 226_309, 526.0, 49.4),
+        (2, 244_711, 270_309, 570.0, 59.4),
+        (4, 300_711, 358_309, 659.0, 79.4),
+        (6, 356_711, 446_309, 748.0, 99.4),
+    ];
+
+    #[test]
+    fn model_reproduces_table_ii_exactly() {
+        for (ssds, luts, regs, brams, urams) in TABLE_II {
+            let u = ResourceUsage::for_ssds(ssds);
+            assert_eq!(u.luts, luts, "{ssds} SSDs LUTs");
+            assert_eq!(u.registers, regs, "{ssds} SSDs registers");
+            assert!(
+                (u.brams - brams).abs() < 1.0,
+                "{ssds} SSDs BRAMs {}",
+                u.brams
+            );
+            assert!((u.urams - urams).abs() < 0.01, "{ssds} SSDs URAMs");
+            assert_eq!(u.clock_mhz, 250);
+        }
+    }
+
+    #[test]
+    fn percentages_match_table_ii() {
+        let dev = FpgaDevice::zu19eg();
+        // Paper: 4 SSDs = 58% LUTs, 34% registers, 67% BRAM, 62% URAM.
+        let u = ResourceUsage::for_ssds(4).utilization(&dev);
+        let expect = [0.58, 0.34, 0.67, 0.62];
+        for (got, want) in u.iter().zip(expect) {
+            assert!((got - want).abs() < 0.02, "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn four_ssds_use_about_half_the_fpga() {
+        let dev = FpgaDevice::zu19eg();
+        let u = ResourceUsage::for_ssds(4).utilization(&dev);
+        let max = u.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.70, "max utilization {max}");
+    }
+
+    #[test]
+    fn headroom_supports_more_ssds() {
+        let dev = FpgaDevice::zu19eg();
+        // "BM-Store can support more SSDs with the remaining resources."
+        let max = ResourceUsage::max_ssds_within(&dev, 1.0);
+        assert!(max >= 7, "only {max} SSDs fit");
+        // And ~half the device supports the shipped 4-SSD config.
+        assert!(ResourceUsage::max_ssds_within(&dev, 0.70) >= 4);
+    }
+}

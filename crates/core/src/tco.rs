@@ -1,0 +1,216 @@
+//! Total-cost-of-ownership model — paper §VI-C.
+//!
+//! The paper's argument: a typical server sells instances of
+//! 8 HT / 64 GB / 1 SSD. SPDK vhost dedicates 16 polling cores
+//! (hyper-threads) for 16 SSDs, which strands a fragment of
+//! 128 GB + 2 SSDs that cannot be sold (their CPU share is burnt on
+//! polling). BM-Store frees those cores at a 3 % hardware premium,
+//! sells 2 more instances per server (+14.3 %), and reduces TCO by at
+//! least 11.3 %.
+
+/// A sellable instance shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceShape {
+    /// Hyper-threads per instance.
+    pub hyper_threads: u32,
+    /// Memory per instance in GB.
+    pub memory_gb: u32,
+    /// Local SSDs per instance.
+    pub ssds: u32,
+}
+
+impl InstanceShape {
+    /// The paper's shape: 8 HT / 64 GB / 1 SSD.
+    pub fn paper_default() -> Self {
+        InstanceShape {
+            hyper_threads: 8,
+            memory_gb: 64,
+            ssds: 1,
+        }
+    }
+}
+
+/// A server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Total hyper-threads.
+    pub hyper_threads: u32,
+    /// Total memory in GB.
+    pub memory_gb: u32,
+    /// Total local SSDs.
+    pub ssds: u32,
+    /// Base hardware cost (arbitrary units; ratios matter).
+    pub base_cost: f64,
+}
+
+impl ServerConfig {
+    /// The paper's typical server: 128 HT / 1024 GB / 16 SSDs.
+    pub fn paper_typical() -> Self {
+        ServerConfig {
+            hyper_threads: 128,
+            memory_gb: 1024,
+            ssds: 16,
+            base_cost: 100.0,
+        }
+    }
+}
+
+/// The storage solution being costed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageSolution {
+    /// SPDK vhost: `polling_hts` hyper-threads reserved for polling.
+    SpdkVhost {
+        /// Hyper-threads dedicated to vhost polling.
+        polling_hts: u32,
+    },
+    /// BM-Store: no host CPU, but a hardware cost premium fraction.
+    BmStore {
+        /// Extra hardware cost as a fraction of server cost (paper: 3 %
+        /// for 4 BM-Store cards per 16-SSD server).
+        hardware_premium: f64,
+    },
+}
+
+impl StorageSolution {
+    /// The paper's SPDK configuration: one polling HT per SSD.
+    pub fn paper_spdk() -> Self {
+        StorageSolution::SpdkVhost { polling_hts: 16 }
+    }
+
+    /// The paper's BM-Store configuration: 4 cards, +3 % server cost.
+    pub fn paper_bm_store() -> Self {
+        StorageSolution::BmStore {
+            hardware_premium: 0.03,
+        }
+    }
+}
+
+/// TCO analysis result for one (server, solution) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoResult {
+    /// Instances the server can sell.
+    pub sellable_instances: u32,
+    /// Stranded hyper-threads (cannot form a full instance).
+    pub stranded_hts: u32,
+    /// Stranded memory in GB.
+    pub stranded_memory_gb: u32,
+    /// Stranded SSDs.
+    pub stranded_ssds: u32,
+    /// Server cost including the solution premium.
+    pub server_cost: f64,
+    /// Cost per sellable instance — the TCO proxy.
+    pub cost_per_instance: f64,
+}
+
+/// Computes sellable instances and cost for one solution.
+pub fn analyze(
+    server: &ServerConfig,
+    shape: &InstanceShape,
+    solution: &StorageSolution,
+) -> TcoResult {
+    let (usable_hts, cost) = match solution {
+        StorageSolution::SpdkVhost { polling_hts } => (
+            server.hyper_threads.saturating_sub(*polling_hts),
+            server.base_cost,
+        ),
+        StorageSolution::BmStore { hardware_premium } => (
+            server.hyper_threads,
+            server.base_cost * (1.0 + hardware_premium),
+        ),
+    };
+    let by_ht = usable_hts / shape.hyper_threads;
+    let by_mem = server.memory_gb / shape.memory_gb;
+    let by_ssd = server.ssds / shape.ssds;
+    let sellable = by_ht.min(by_mem).min(by_ssd);
+    TcoResult {
+        sellable_instances: sellable,
+        stranded_hts: usable_hts - sellable * shape.hyper_threads,
+        stranded_memory_gb: server.memory_gb - sellable * shape.memory_gb,
+        stranded_ssds: server.ssds - sellable * shape.ssds,
+        server_cost: cost,
+        cost_per_instance: cost / sellable as f64,
+    }
+}
+
+/// Side-by-side comparison of SPDK vhost and BM-Store on one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoComparison {
+    /// SPDK vhost result.
+    pub spdk: TcoResult,
+    /// BM-Store result.
+    pub bm_store: TcoResult,
+    /// Extra instances BM-Store sells, as a fraction (paper: +14.3 %).
+    pub extra_instances_frac: f64,
+    /// TCO reduction per instance (paper: ≥ 11.3 %).
+    pub tco_reduction_frac: f64,
+}
+
+/// Runs the paper's §VI-C comparison.
+pub fn compare(server: &ServerConfig, shape: &InstanceShape) -> TcoComparison {
+    let spdk = analyze(server, shape, &StorageSolution::paper_spdk());
+    let bm = analyze(server, shape, &StorageSolution::paper_bm_store());
+    TcoComparison {
+        spdk,
+        bm_store: bm,
+        extra_instances_frac: (bm.sellable_instances as f64 - spdk.sellable_instances as f64)
+            / spdk.sellable_instances as f64,
+        tco_reduction_frac: (spdk.cost_per_instance - bm.cost_per_instance)
+            / spdk.cost_per_instance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spdk_strands_the_paper_fragment() {
+        let r = analyze(
+            &ServerConfig::paper_typical(),
+            &InstanceShape::paper_default(),
+            &StorageSolution::paper_spdk(),
+        );
+        // 112 usable HTs → 14 instances; fragment = 128 GB + 2 SSDs.
+        assert_eq!(r.sellable_instances, 14);
+        assert_eq!(r.stranded_memory_gb, 128);
+        assert_eq!(r.stranded_ssds, 2);
+        assert_eq!(r.stranded_hts, 0);
+    }
+
+    #[test]
+    fn bm_store_sells_the_fragment() {
+        let r = analyze(
+            &ServerConfig::paper_typical(),
+            &InstanceShape::paper_default(),
+            &StorageSolution::paper_bm_store(),
+        );
+        assert_eq!(r.sellable_instances, 16);
+        assert_eq!(r.stranded_ssds, 0);
+        assert!((r.server_cost - 103.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_matches_paper_headlines() {
+        let c = compare(
+            &ServerConfig::paper_typical(),
+            &InstanceShape::paper_default(),
+        );
+        // "sell 14.3% more instances per server"
+        assert!(
+            (c.extra_instances_frac - 0.143).abs() < 0.002,
+            "extra {}",
+            c.extra_instances_frac
+        );
+        // "reduce at least 11.3% TCO"
+        assert!(
+            c.tco_reduction_frac >= 0.098,
+            "reduction {}",
+            c.tco_reduction_frac
+        );
+        assert!(
+            (c.tco_reduction_frac - 0.113).abs() < 0.015,
+            "reduction {}",
+            c.tco_reduction_frac
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests on the BMS-Engine's data structures: the mapping
+//! equations, the global-PRP bit format, chunk allocation, QoS rate
+//! conformance, and the management command codec.
+
+use bm_nvme::types::Lba;
+use bm_pcie::{FunctionId, PciAddr};
+use bm_sim::SimTime;
+use bm_ssd::SsdId;
+use bmstore_core::controller::commands::BmsCommand;
+use bmstore_core::engine::dma_routing::{GlobalPrp, TAG_MASK};
+use bmstore_core::engine::mapping::{
+    ChunkAllocator, MapEntry, MappingTable, ENTRIES_PER_ROW, MAX_CHUNK_BASE, MAX_SSD_ID,
+};
+use bmstore_core::engine::qos::{Admission, NamespaceQos, QosLimit};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn map_entry_byte_round_trips(base in 0u8..=MAX_CHUNK_BASE, ssd in 0u8..=MAX_SSD_ID) {
+        let e = MapEntry::new(base, SsdId(ssd)).unwrap();
+        let back = MapEntry::from_raw(e.raw());
+        prop_assert_eq!(back.chunk_base(), base);
+        prop_assert_eq!(back.ssd(), SsdId(ssd));
+    }
+
+    /// The paper's equations (1)–(4), checked against a direct
+    /// reference model for arbitrary mappings and addresses.
+    #[test]
+    fn mapping_matches_reference_model(
+        entries in proptest::collection::vec((0u8..=MAX_CHUNK_BASE, 0u8..=MAX_SSD_ID), 1..64),
+        hl_frac in 0.0f64..1.0,
+    ) {
+        let mut mt = MappingTable::new(16, 4096);
+        for (i, (base, ssd)) in entries.iter().enumerate() {
+            mt.install(
+                i / ENTRIES_PER_ROW,
+                i % ENTRIES_PER_ROW,
+                MapEntry::new(*base, SsdId(*ssd)).unwrap(),
+            )
+            .unwrap();
+        }
+        let cs = mt.chunk_blocks();
+        let ns_blocks = entries.len() as u64 * cs;
+        let hl = ((ns_blocks - 1) as f64 * hl_frac) as u64;
+        let (ssd, pl) = mt.map(0, Lba(hl)).unwrap();
+        // Reference: chunk index selects the entry; offset is preserved.
+        let chunk = (hl / cs) as usize;
+        let (want_base, want_ssd) = entries[chunk];
+        prop_assert_eq!(ssd, SsdId(want_ssd));
+        prop_assert_eq!(pl.raw(), want_base as u64 * cs + hl % cs);
+    }
+
+    #[test]
+    fn global_prp_round_trips(
+        addr in (0u64..(1 << 48)),
+        func in 0u8..128,
+        is_list in any::<bool>(),
+    ) {
+        let f = FunctionId::new(func).unwrap();
+        let tagged = GlobalPrp::tag(PciAddr::new(addr), f, is_list);
+        let (a, g, l) = GlobalPrp::untag(tagged);
+        prop_assert_eq!(a.raw(), addr);
+        prop_assert_eq!(g, f);
+        prop_assert_eq!(l, is_list);
+        // The tag never disturbs the address bits.
+        prop_assert_eq!(tagged.raw() & !TAG_MASK, addr);
+    }
+
+    #[test]
+    fn allocator_never_hands_out_duplicates(
+        takes in proptest::collection::vec(1usize..8, 1..12),
+    ) {
+        let mut alloc = ChunkAllocator::new(4, 2_000_000_000_000);
+        let mut seen = HashSet::new();
+        for n in takes {
+            if let Ok(entries) = alloc.alloc_round_robin(n) {
+                for e in entries {
+                    prop_assert!(
+                        seen.insert((e.ssd(), e.chunk_base())),
+                        "duplicate chunk handed out"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whatever the arrival pattern, QoS never releases faster than the
+    /// configured rate (after the burst).
+    #[test]
+    fn qos_release_rate_bounded(
+        rate in 100.0f64..100_000.0,
+        arrivals in proptest::collection::vec(0u64..1_000_000u64, 10..200),
+    ) {
+        let mut q = NamespaceQos::new(QosLimit::iops(rate));
+        let mut t = 0u64;
+        let mut last_release = SimTime::ZERO;
+        let mut count = 0u64;
+        for gap in arrivals {
+            t += gap;
+            let now = SimTime::from_nanos(t);
+            match q.admit(now, 4096) {
+                Admission::Immediate => {
+                    last_release = last_release.max(now);
+                    count += 1;
+                }
+                Admission::Deferred(at) => {
+                    prop_assert!(at >= now);
+                    last_release = last_release.max(at);
+                    count += 1;
+                }
+            }
+        }
+        let span = last_release.as_secs_f64();
+        if span > 0.01 {
+            let burst = (rate / 10.0).max(1.0);
+            let observed = count as f64 / span;
+            prop_assert!(
+                observed <= rate + burst / span + rate * 0.01,
+                "release rate {observed:.0} exceeds limit {rate:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn management_commands_round_trip(
+        func in 0u8..128,
+        size in 1u64..(8u64 << 40),
+        iops in any::<u32>(),
+        mbps in any::<u32>(),
+        image in proptest::collection::vec(any::<u8>(), 0..512),
+        ssd in 0u8..4,
+        slot in 0u8..4,
+    ) {
+        let f = FunctionId::new(func).unwrap();
+        let cmds = vec![
+            BmsCommand::CreateAndBind { func: f, size_bytes: size, single_ssd: None },
+            BmsCommand::CreateAndBind { func: f, size_bytes: size, single_ssd: Some(SsdId(ssd)) },
+            BmsCommand::Unbind { func: f },
+            BmsCommand::SetQos { func: f, iops, mbps },
+            BmsCommand::QueryStats { func: f },
+            BmsCommand::HealthPoll { ssd: SsdId(ssd) },
+            BmsCommand::FirmwareUpgrade { ssd: SsdId(ssd), slot, image },
+            BmsCommand::HotPlugPrepare { ssd: SsdId(ssd) },
+            BmsCommand::HotPlugComplete { old: SsdId(ssd), new: SsdId(3 - ssd) },
+            BmsCommand::QueryVersion { ssd: SsdId(ssd) },
+        ];
+        for cmd in cmds {
+            let back = BmsCommand::from_request(&cmd.to_request()).unwrap();
+            prop_assert_eq!(back, cmd);
+        }
+    }
+
+    /// Hot-plug retargeting is an involution on the targeted subset.
+    #[test]
+    fn retarget_round_trips(
+        entries in proptest::collection::vec((0u8..=MAX_CHUNK_BASE, 0u8..=MAX_SSD_ID), 1..48),
+    ) {
+        let mut mt = MappingTable::new(8, 4096);
+        for (i, (base, ssd)) in entries.iter().enumerate() {
+            mt.install(
+                i / ENTRIES_PER_ROW,
+                i % ENTRIES_PER_ROW,
+                MapEntry::new(*base, SsdId(*ssd)).unwrap(),
+            )
+            .unwrap();
+        }
+        let before: Vec<_> = (0..entries.len())
+            .map(|i| mt.entry(i / ENTRIES_PER_ROW, i % ENTRIES_PER_ROW).unwrap())
+            .collect();
+        let n1 = mt.retarget_ssd(SsdId(1), SsdId(2));
+        let _ = n1;
+        // Retarget back: only safe when SSD 2 had no entries initially,
+        // so restrict the check to that case.
+        if !entries.iter().any(|(_, s)| *s == 2) {
+            mt.retarget_ssd(SsdId(2), SsdId(1));
+            let after: Vec<_> = (0..entries.len())
+                .map(|i| mt.entry(i / ENTRIES_PER_ROW, i % ENTRIES_PER_ROW).unwrap())
+                .collect();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

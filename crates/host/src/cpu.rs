@@ -1,0 +1,154 @@
+//! The host CPU pool.
+//!
+//! The paper's host has two 24-core Xeon 8163 sockets (Table III). The
+//! pool hands out cores to workloads (fio jobs, database threads) and
+//! lets polling schemes *reserve* cores outright — the reserved cores
+//! are what SPDK vhost burns and BM-Store gives back to tenants (Fig. 1
+//! and the §VI-C TCO analysis).
+
+use bm_sim::resource::FifoServer;
+use bm_sim::{SimDuration, SimTime};
+
+/// A pool of host CPU cores.
+///
+/// # Examples
+///
+/// ```
+/// use bm_host::CpuPool;
+/// use bm_sim::{SimDuration, SimTime};
+///
+/// let mut pool = CpuPool::new(48);
+/// let polling = pool.reserve(8).unwrap(); // SPDK vhost cores
+/// assert_eq!(pool.available(), 40);
+/// let core = polling[0];
+/// let done = pool.run_on(core, SimTime::ZERO, SimDuration::from_us(3));
+/// assert_eq!(done.as_nanos(), 3_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    cores: Vec<FifoServer>,
+    reserved: Vec<usize>,
+    next_grant: usize,
+}
+
+/// Identifier of one core within a [`CpuPool`].
+pub type CoreId = usize;
+
+impl CpuPool {
+    /// Creates a pool of `n` idle cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a host needs at least one core");
+        CpuPool {
+            cores: vec![FifoServer::new(); n],
+            reserved: Vec::new(),
+            next_grant: 0,
+        }
+    }
+
+    /// The paper's host: 2 × 24 cores, hyper-threading disabled (§V-A).
+    pub fn xeon_8163_dual() -> Self {
+        Self::new(48)
+    }
+
+    /// Total cores.
+    pub fn total(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Cores not yet reserved.
+    pub fn available(&self) -> usize {
+        self.cores.len() - self.reserved.len()
+    }
+
+    /// Reserves `n` dedicated cores (for a polling backend); returns
+    /// their ids, or `None` if not enough cores remain.
+    pub fn reserve(&mut self, n: usize) -> Option<Vec<CoreId>> {
+        if self.available() < n {
+            return None;
+        }
+        let start = self.reserved.len();
+        let ids: Vec<CoreId> = (start..start + n).collect();
+        self.reserved.extend(&ids);
+        Some(ids)
+    }
+
+    /// Grants a (non-exclusive) core for a workload thread, round-robin
+    /// over the unreserved cores.
+    pub fn grant(&mut self) -> CoreId {
+        let unreserved = self.available().max(1);
+        let id = self.reserved.len() + (self.next_grant % unreserved);
+        self.next_grant += 1;
+        id.min(self.cores.len() - 1)
+    }
+
+    /// Runs `work` on `core` starting no earlier than `now`; returns the
+    /// completion time (FIFO behind earlier work on the same core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn run_on(&mut self, core: CoreId, now: SimTime, work: SimDuration) -> SimTime {
+        self.cores[core].occupy(now, work)
+    }
+
+    /// When `core` next becomes free.
+    pub fn core_free_at(&self, core: CoreId) -> SimTime {
+        self.cores[core].free_at()
+    }
+
+    /// Utilization of `core` over a window.
+    pub fn utilization(&self, core: CoreId, window: SimDuration) -> f64 {
+        self.cores[core].utilization(window)
+    }
+
+    /// Total CPU-seconds consumed across the pool.
+    pub fn busy_total(&self) -> SimDuration {
+        self.cores.iter().map(FifoServer::busy_total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_takes_cores_out_of_circulation() {
+        let mut pool = CpuPool::new(8);
+        let r = pool.reserve(3).unwrap();
+        assert_eq!(r, vec![0, 1, 2]);
+        assert_eq!(pool.available(), 5);
+        assert!(pool.reserve(6).is_none());
+        assert!(pool.reserve(5).is_some());
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn grants_round_robin_over_unreserved() {
+        let mut pool = CpuPool::new(4);
+        pool.reserve(1).unwrap();
+        let grants: Vec<CoreId> = (0..6).map(|_| pool.grant()).collect();
+        assert_eq!(grants, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn core_work_serializes() {
+        let mut pool = CpuPool::new(2);
+        let t0 = SimTime::ZERO;
+        let a = pool.run_on(0, t0, SimDuration::from_us(5));
+        let b = pool.run_on(0, t0, SimDuration::from_us(5));
+        let c = pool.run_on(1, t0, SimDuration::from_us(5));
+        assert_eq!(a.as_nanos(), 5_000);
+        assert_eq!(b.as_nanos(), 10_000);
+        assert_eq!(c.as_nanos(), 5_000);
+        assert_eq!(pool.busy_total(), SimDuration::from_us(15));
+    }
+
+    #[test]
+    fn paper_host_has_48_cores() {
+        assert_eq!(CpuPool::xeon_8163_dual().total(), 48);
+    }
+}

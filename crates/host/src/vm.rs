@@ -1,0 +1,100 @@
+//! The virtual-machine model.
+//!
+//! The paper's virtualization experiments (Fig. 9, Table VII) run fio in
+//! a guest with 4 vCPUs and 4 GB. What a scheme costs the guest differs:
+//!
+//! * **VFIO / BM-Store** — the NVMe BAR (doorbells included) is mapped
+//!   into the guest, so submission needs no VM exit; completion arrives
+//!   as a posted interrupt with a small delivery cost.
+//! * **SPDK vhost** — submission rings a virtio kick the vhost thread
+//!   polls (cheap for the guest), but completion is injected through an
+//!   irqfd, which costs more than a posted interrupt.
+//!
+//! Additionally, guest completions are processed by vCPUs, and a 4-vCPU
+//! guest handling hundreds of thousands of interrupts per second becomes
+//! CPU-bound — this is why rand-r-128 latency roughly doubles inside a
+//! VM for *every* scheme (Table VII: 786 µs bare-metal → ~1650 µs VM).
+
+use bm_sim::SimDuration;
+
+/// Guest resource shape and virtualization costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmConfig {
+    /// Display name.
+    pub name: String,
+    /// Number of virtual CPUs.
+    pub vcpus: usize,
+    /// Guest memory in bytes.
+    pub memory_bytes: u64,
+    /// Cost of a guest doorbell/kick (0 when the BAR is guest-mapped).
+    pub doorbell_exit: SimDuration,
+    /// Added latency delivering a completion interrupt into the guest.
+    pub interrupt_delivery: SimDuration,
+    /// Guest-side CPU work to process one completion (IRQ + guest block
+    /// layer) — this serializes on the vCPUs.
+    pub guest_complete_cost: SimDuration,
+}
+
+impl VmConfig {
+    /// The paper's guest: 4 vCPUs, 4 GB (§V-C), for a directly-assigned
+    /// device (VFIO passthrough or a BM-Store VF).
+    pub fn paper_guest_direct(name: impl Into<String>) -> Self {
+        VmConfig {
+            name: name.into(),
+            vcpus: 4,
+            memory_bytes: 4 << 30,
+            doorbell_exit: SimDuration::ZERO,
+            interrupt_delivery: SimDuration::from_nanos(2_600),
+            guest_complete_cost: SimDuration::from_nanos(3_000),
+        }
+    }
+
+    /// The paper's guest attached through SPDK vhost (virtio-blk):
+    /// kicks are cheap (the vhost core polls), completion injection via
+    /// irqfd costs more.
+    pub fn paper_guest_vhost(name: impl Into<String>) -> Self {
+        VmConfig {
+            name: name.into(),
+            vcpus: 4,
+            memory_bytes: 4 << 30,
+            doorbell_exit: SimDuration::from_nanos(600),
+            interrupt_delivery: SimDuration::from_nanos(4_000),
+            guest_complete_cost: SimDuration::from_nanos(3_200),
+        }
+    }
+
+    /// Peak completions per second the guest's vCPUs can process.
+    pub fn completion_ceiling(&self) -> f64 {
+        self.vcpus as f64 / self.guest_complete_cost.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_guest_has_no_doorbell_exit() {
+        let vm = VmConfig::paper_guest_direct("vm0");
+        assert_eq!(vm.doorbell_exit, SimDuration::ZERO);
+        assert_eq!(vm.vcpus, 4);
+    }
+
+    #[test]
+    fn vhost_guest_pays_for_kick_and_injection() {
+        let direct = VmConfig::paper_guest_direct("a");
+        let vhost = VmConfig::paper_guest_vhost("b");
+        assert!(vhost.doorbell_exit > direct.doorbell_exit);
+        assert!(vhost.interrupt_delivery > direct.interrupt_delivery);
+    }
+
+    #[test]
+    fn four_vcpus_cap_completion_rate_near_table_vii() {
+        // Table VII: rand-r-128 in-VM sustains ~310 K IOPS (512 / 1.65 ms)
+        // for VFIO — i.e. the guest ceiling must sit near 1.3 M raw
+        // (other costs share the vCPUs with submission work).
+        let vm = VmConfig::paper_guest_direct("vm");
+        let ceiling = vm.completion_ceiling();
+        assert!((1.0e6..1.6e6).contains(&ceiling), "ceiling {ceiling}");
+    }
+}

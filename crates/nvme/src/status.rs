@@ -1,0 +1,129 @@
+//! NVMe completion status codes.
+
+use std::fmt;
+
+/// Status carried in the completion-queue entry (generic command set plus
+/// the codes the simulation actually produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Status {
+    /// Command completed successfully.
+    #[default]
+    Success,
+    /// The opcode is not supported.
+    InvalidOpcode,
+    /// A command field is invalid.
+    InvalidField,
+    /// The LBA range exceeds the namespace.
+    LbaOutOfRange,
+    /// The namespace does not exist or is not attached.
+    InvalidNamespace,
+    /// The namespace exists but is (temporarily) not ready.
+    NamespaceNotReady,
+    /// Internal device error.
+    InternalError,
+    /// The command was aborted by the controller (e.g. queue deletion).
+    Aborted,
+    /// Firmware activation requires a reset (firmware commit result).
+    FirmwareNeedsReset,
+    /// Invalid firmware slot.
+    InvalidFirmwareSlot,
+    /// Invalid firmware image.
+    InvalidFirmwareImage,
+}
+
+impl Status {
+    /// The (status-code-type, status-code) pair per the NVMe spec.
+    pub fn to_wire(self) -> (u8, u8) {
+        match self {
+            Status::Success => (0x0, 0x00),
+            Status::InvalidOpcode => (0x0, 0x01),
+            Status::InvalidField => (0x0, 0x02),
+            Status::LbaOutOfRange => (0x0, 0x80),
+            Status::InvalidNamespace => (0x0, 0x0b),
+            Status::NamespaceNotReady => (0x0, 0x82),
+            Status::InternalError => (0x0, 0x06),
+            Status::Aborted => (0x0, 0x07),
+            Status::FirmwareNeedsReset => (0x1, 0x0b),
+            Status::InvalidFirmwareSlot => (0x1, 0x06),
+            Status::InvalidFirmwareImage => (0x1, 0x07),
+        }
+    }
+
+    /// Decodes a wire pair; unknown combinations map to `InternalError`.
+    pub fn from_wire(sct: u8, sc: u8) -> Status {
+        match (sct, sc) {
+            (0x0, 0x00) => Status::Success,
+            (0x0, 0x01) => Status::InvalidOpcode,
+            (0x0, 0x02) => Status::InvalidField,
+            (0x0, 0x80) => Status::LbaOutOfRange,
+            (0x0, 0x0b) => Status::InvalidNamespace,
+            (0x0, 0x82) => Status::NamespaceNotReady,
+            (0x0, 0x06) => Status::InternalError,
+            (0x0, 0x07) => Status::Aborted,
+            (0x1, 0x0b) => Status::FirmwareNeedsReset,
+            (0x1, 0x06) => Status::InvalidFirmwareSlot,
+            (0x1, 0x07) => Status::InvalidFirmwareImage,
+            _ => Status::InternalError,
+        }
+    }
+
+    /// Whether the command succeeded.
+    pub fn is_success(self) -> bool {
+        self == Status::Success
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Success => "success",
+            Status::InvalidOpcode => "invalid opcode",
+            Status::InvalidField => "invalid field",
+            Status::LbaOutOfRange => "LBA out of range",
+            Status::InvalidNamespace => "invalid namespace",
+            Status::NamespaceNotReady => "namespace not ready",
+            Status::InternalError => "internal error",
+            Status::Aborted => "command aborted",
+            Status::FirmwareNeedsReset => "firmware activation needs reset",
+            Status::InvalidFirmwareSlot => "invalid firmware slot",
+            Status::InvalidFirmwareImage => "invalid firmware image",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for s in [
+            Status::Success,
+            Status::InvalidOpcode,
+            Status::InvalidField,
+            Status::LbaOutOfRange,
+            Status::InvalidNamespace,
+            Status::NamespaceNotReady,
+            Status::InternalError,
+            Status::Aborted,
+            Status::FirmwareNeedsReset,
+            Status::InvalidFirmwareSlot,
+            Status::InvalidFirmwareImage,
+        ] {
+            let (sct, sc) = s.to_wire();
+            assert_eq!(Status::from_wire(sct, sc), s);
+        }
+    }
+
+    #[test]
+    fn unknown_maps_to_internal() {
+        assert_eq!(Status::from_wire(0x7, 0x7f), Status::InternalError);
+    }
+
+    #[test]
+    fn success_predicate() {
+        assert!(Status::Success.is_success());
+        assert!(!Status::Aborted.is_success());
+    }
+}

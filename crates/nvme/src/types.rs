@@ -1,0 +1,133 @@
+//! Core NVMe identifiers.
+
+use std::fmt;
+
+/// A logical block address, in units of the namespace's block size.
+///
+/// # Examples
+///
+/// ```
+/// use bm_nvme::Lba;
+/// let lba = Lba(100) + 28;
+/// assert_eq!(lba, Lba(128));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lba(pub u64);
+
+impl Lba {
+    /// The raw block index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Checked addition of a block count.
+    pub fn checked_add(self, blocks: u64) -> Option<Lba> {
+        self.0.checked_add(blocks).map(Lba)
+    }
+}
+
+impl std::ops::Add<u64> for Lba {
+    type Output = Lba;
+    fn add(self, rhs: u64) -> Lba {
+        Lba(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lba:{:#x}", self.0)
+    }
+}
+
+/// A namespace id. NVMe NSIDs are 1-based; 0 is invalid and
+/// `0xFFFFFFFF` is the broadcast value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Nsid(u32);
+
+impl Nsid {
+    /// The broadcast namespace id.
+    pub const BROADCAST: Nsid = Nsid(0xFFFF_FFFF);
+
+    /// Creates a namespace id; `None` for the invalid value 0.
+    pub const fn new(raw: u32) -> Option<Nsid> {
+        if raw == 0 {
+            None
+        } else {
+            Some(Nsid(raw))
+        }
+    }
+
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Nsid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns{}", self.0)
+    }
+}
+
+/// A command identifier, unique among outstanding commands on one queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cid(pub u16);
+
+impl fmt::Display for Cid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid{}", self.0)
+    }
+}
+
+/// A submission/completion queue id. Queue 0 is the admin queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueueId(pub u16);
+
+impl QueueId {
+    /// The admin queue pair id.
+    pub const ADMIN: QueueId = QueueId(0);
+
+    /// Whether this is the admin queue.
+    pub const fn is_admin(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_admin() {
+            write!(f, "adminq")
+        } else {
+            write!(f, "ioq{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lba_arithmetic() {
+        assert_eq!(Lba(5) + 3, Lba(8));
+        assert_eq!(Lba(5).checked_add(u64::MAX), None);
+        assert_eq!(Lba(5).raw(), 5);
+        assert_eq!(Lba(0x10).to_string(), "lba:0x10");
+    }
+
+    #[test]
+    fn nsid_validity() {
+        assert!(Nsid::new(0).is_none());
+        assert_eq!(Nsid::new(1).unwrap().raw(), 1);
+        assert_eq!(Nsid::BROADCAST.raw(), 0xFFFF_FFFF);
+        assert_eq!(Nsid::new(3).unwrap().to_string(), "ns3");
+    }
+
+    #[test]
+    fn queue_ids() {
+        assert!(QueueId::ADMIN.is_admin());
+        assert!(!QueueId(1).is_admin());
+        assert_eq!(QueueId(0).to_string(), "adminq");
+        assert_eq!(QueueId(2).to_string(), "ioq2");
+    }
+}

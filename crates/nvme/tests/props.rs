@@ -1,0 +1,143 @@
+//! Property tests: NVMe wire encodings survive arbitrary field values,
+//! and PRP chains always cover transfers exactly.
+
+use bm_nvme::command::{AdminOpcode, Cqe, IoOpcode, Sqe};
+use bm_nvme::prp::PrpPair;
+use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
+use bm_nvme::Status;
+use bm_pcie::memory::PAGE_SIZE;
+use bm_pcie::{HostMemory, PciAddr};
+use proptest::prelude::*;
+
+fn io_opcode() -> impl Strategy<Value = IoOpcode> {
+    prop_oneof![
+        Just(IoOpcode::Read),
+        Just(IoOpcode::Write),
+        Just(IoOpcode::Flush),
+    ]
+}
+
+fn admin_opcode() -> impl Strategy<Value = AdminOpcode> {
+    prop_oneof![
+        Just(AdminOpcode::Identify),
+        Just(AdminOpcode::CreateIoSq),
+        Just(AdminOpcode::CreateIoCq),
+        Just(AdminOpcode::DeleteIoSq),
+        Just(AdminOpcode::DeleteIoCq),
+        Just(AdminOpcode::SetFeatures),
+        Just(AdminOpcode::GetFeatures),
+        Just(AdminOpcode::GetLogPage),
+        Just(AdminOpcode::FirmwareDownload),
+        Just(AdminOpcode::FirmwareCommit),
+    ]
+}
+
+fn status() -> impl Strategy<Value = Status> {
+    prop_oneof![
+        Just(Status::Success),
+        Just(Status::InvalidOpcode),
+        Just(Status::InvalidField),
+        Just(Status::LbaOutOfRange),
+        Just(Status::InvalidNamespace),
+        Just(Status::NamespaceNotReady),
+        Just(Status::InternalError),
+        Just(Status::Aborted),
+        Just(Status::FirmwareNeedsReset),
+        Just(Status::InvalidFirmwareSlot),
+        Just(Status::InvalidFirmwareImage),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn io_sqe_round_trips(
+        op in io_opcode(),
+        cid in any::<u16>(),
+        nsid in 1u32..0xFFFF_FFFE,
+        slba in 0u64..(1 << 48),
+        nblocks in 1u32..=65_536,
+        prp1 in 0u64..(1 << 48),
+        prp2 in 0u64..(1 << 48),
+    ) {
+        let sqe = Sqe::io(
+            op,
+            Cid(cid),
+            Nsid::new(nsid).unwrap(),
+            Lba(slba),
+            nblocks,
+            PciAddr::new(prp1),
+            PciAddr::new(prp2),
+        );
+        let back = Sqe::from_bytes(&sqe.to_bytes()).unwrap();
+        prop_assert_eq!(back, sqe);
+        prop_assert_eq!(back.nlb_blocks(), nblocks);
+    }
+
+    #[test]
+    fn admin_sqe_round_trips(
+        op in admin_opcode(),
+        cid in any::<u16>(),
+        cdw10 in any::<u32>(),
+        cdw11 in any::<u32>(),
+        prp1 in 0u64..(1 << 48),
+    ) {
+        let mut sqe = Sqe::admin(op, Cid(cid), cdw10, PciAddr::new(prp1));
+        sqe.cdw11 = cdw11;
+        let back = Sqe::from_bytes_admin(&sqe.to_bytes()).unwrap();
+        prop_assert_eq!(back, sqe);
+    }
+
+    #[test]
+    fn cqe_round_trips(
+        result in any::<u32>(),
+        sq_head in any::<u16>(),
+        sq_id in any::<u16>(),
+        cid in any::<u16>(),
+        phase in any::<bool>(),
+        status in status(),
+    ) {
+        let cqe = Cqe {
+            result,
+            sq_head,
+            sq_id: QueueId(sq_id),
+            cid: Cid(cid),
+            phase,
+            status,
+        };
+        prop_assert_eq!(Cqe::from_bytes(&cqe.to_bytes()), cqe);
+    }
+
+    #[test]
+    fn prp_segments_cover_transfer_exactly(
+        offset in 0u64..PAGE_SIZE,
+        len in 1u64..(1 << 20),
+    ) {
+        let mut mem = HostMemory::new(8 << 20);
+        let base = mem.alloc(len + 2 * PAGE_SIZE).unwrap();
+        let buf = base + offset;
+        let prp = PrpPair::build(&mut mem, buf, len);
+        let segs = prp.segments(&mut mem).unwrap();
+        // Segments cover exactly [buf, buf + len), contiguously, with
+        // every non-first segment page aligned.
+        prop_assert_eq!(segs[0].0, buf);
+        let total: u64 = segs.iter().map(|s| s.1).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = buf;
+        for (i, (addr, n)) in segs.iter().enumerate() {
+            prop_assert_eq!(*addr, cursor, "segment {} contiguity", i);
+            if i > 0 {
+                prop_assert_eq!(addr.page_offset(PAGE_SIZE), 0);
+            }
+            prop_assert!(*n <= PAGE_SIZE);
+            cursor = *addr + *n;
+        }
+        prop_assert_eq!(prp.entry_count() as usize, segs.len());
+    }
+
+    #[test]
+    fn unknown_io_opcodes_always_rejected(op in 3u8..=255) {
+        let mut bytes = [0u8; 64];
+        bytes[0] = op;
+        prop_assert_eq!(Sqe::from_bytes(&bytes), Err(Status::InvalidOpcode));
+    }
+}

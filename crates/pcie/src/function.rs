@@ -1,0 +1,178 @@
+//! PCIe function descriptors.
+//!
+//! A [`PciFunction`] is one front-end NVMe controller as seen by the host
+//! — either a physical function or one of the virtual functions an
+//! SR-IOV-capable device (the BMS-Engine) fans out. Each function owns a
+//! BAR0 window where its NVMe registers (doorbells included) live.
+
+use crate::addr::{Bdf, FunctionId, PciAddr};
+use std::fmt;
+
+/// Whether a function is physical or virtual (and then, of which PF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionKind {
+    /// A physical function.
+    Physical,
+    /// A virtual function spawned from the PF with the given id.
+    Virtual {
+        /// The parent physical function.
+        parent: FunctionId,
+    },
+}
+
+impl fmt::Display for FunctionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionKind::Physical => write!(f, "PF"),
+            FunctionKind::Virtual { parent } => write!(f, "VF(parent={parent})"),
+        }
+    }
+}
+
+/// One PCIe function: identity, kind, BAR0 window and enablement state.
+///
+/// # Examples
+///
+/// ```
+/// use bm_pcie::{Bdf, FunctionId, FunctionKind, PciAddr, PciFunction};
+///
+/// let pf = PciFunction::new(
+///     FunctionId::new(0).unwrap(),
+///     Bdf::new(0x3b, 0, 0),
+///     FunctionKind::Physical,
+///     PciAddr::new(0xfe00_0000),
+///     0x4000,
+/// );
+/// assert!(pf.contains(PciAddr::new(0xfe00_1000)));
+/// assert!(!pf.contains(PciAddr::new(0xfe00_4000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PciFunction {
+    id: FunctionId,
+    bdf: Bdf,
+    kind: FunctionKind,
+    bar0: PciAddr,
+    bar0_len: u64,
+    enabled: bool,
+}
+
+impl PciFunction {
+    /// Creates a function with its BAR0 window at `[bar0, bar0 + bar0_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bar0_len` is zero.
+    pub fn new(id: FunctionId, bdf: Bdf, kind: FunctionKind, bar0: PciAddr, bar0_len: u64) -> Self {
+        assert!(bar0_len > 0, "BAR0 must be non-empty");
+        PciFunction {
+            id,
+            bdf,
+            kind,
+            bar0,
+            bar0_len,
+            enabled: false,
+        }
+    }
+
+    /// The flat function id.
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The bus/device/function triple.
+    pub fn bdf(&self) -> Bdf {
+        self.bdf
+    }
+
+    /// Physical or virtual.
+    pub fn kind(&self) -> FunctionKind {
+        self.kind
+    }
+
+    /// Base of the BAR0 register window.
+    pub fn bar0(&self) -> PciAddr {
+        self.bar0
+    }
+
+    /// Length of the BAR0 window in bytes.
+    pub fn bar0_len(&self) -> u64 {
+        self.bar0_len
+    }
+
+    /// Whether `addr` falls inside this function's BAR0 window.
+    pub fn contains(&self, addr: PciAddr) -> bool {
+        addr >= self.bar0 && (addr - self.bar0) < self.bar0_len
+    }
+
+    /// Offset of `addr` within BAR0, if it falls inside the window.
+    pub fn bar0_offset(&self, addr: PciAddr) -> Option<u64> {
+        if self.contains(addr) {
+            Some(addr - self.bar0)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the host driver has enabled the function.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the function (config-space bus-master toggle).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether this is a virtual function.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.kind, FunctionKind::Virtual { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(id: u8, kind: FunctionKind) -> PciFunction {
+        PciFunction::new(
+            FunctionId::new(id).unwrap(),
+            Bdf::new(0x3b, 0, id % 8),
+            kind,
+            PciAddr::new(0x1_0000 + id as u64 * 0x4000),
+            0x4000,
+        )
+    }
+
+    #[test]
+    fn bar_window_membership() {
+        let f = make(1, FunctionKind::Physical);
+        assert!(f.contains(f.bar0()));
+        assert!(f.contains(f.bar0() + 0x3fff));
+        assert!(!f.contains(f.bar0() + 0x4000));
+        assert_eq!(f.bar0_offset(f.bar0() + 0x100), Some(0x100));
+        assert_eq!(f.bar0_offset(PciAddr::new(0)), None);
+    }
+
+    #[test]
+    fn enablement_toggles() {
+        let mut f = make(0, FunctionKind::Physical);
+        assert!(!f.is_enabled());
+        f.set_enabled(true);
+        assert!(f.is_enabled());
+    }
+
+    #[test]
+    fn kind_queries() {
+        let pf = make(0, FunctionKind::Physical);
+        let vf = make(
+            4,
+            FunctionKind::Virtual {
+                parent: FunctionId::new(0).unwrap(),
+            },
+        );
+        assert!(!pf.is_virtual());
+        assert!(vf.is_virtual());
+        assert_eq!(pf.kind().to_string(), "PF");
+        assert_eq!(vf.kind().to_string(), "VF(parent=fn0)");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: memory semantics and MCTP framing under arbitrary
+//! inputs.
+
+use bm_pcie::mctp::{Assembler, Eid, MctpMessage, MctpPacket, MessageType, BASELINE_MTU};
+use bm_pcie::{HostMemory, PciAddr};
+use proptest::prelude::*;
+
+proptest! {
+    /// Read-after-write returns exactly what was written, for arbitrary
+    /// (possibly page-straddling) ranges.
+    #[test]
+    fn memory_read_after_write(
+        offset in 0u64..20_000,
+        data in proptest::collection::vec(any::<u8>(), 1..10_000),
+    ) {
+        let mut mem = HostMemory::new(1 << 20);
+        let base = mem.alloc(64 << 10).unwrap();
+        let addr = base + offset;
+        mem.write(addr, &data);
+        prop_assert_eq!(mem.read_vec(addr, data.len() as u64), data);
+    }
+
+    /// Overlapping writes: the later write wins on the overlap.
+    #[test]
+    fn memory_overlapping_writes(
+        a in proptest::collection::vec(any::<u8>(), 100..2_000),
+        b in proptest::collection::vec(any::<u8>(), 100..2_000),
+        overlap in 0u64..100,
+    ) {
+        let mut mem = HostMemory::new(1 << 20);
+        let base = mem.alloc(16 << 10).unwrap();
+        mem.write(base, &a);
+        let b_addr = base + (a.len() as u64 - overlap);
+        mem.write(b_addr, &b);
+        let got = mem.read_vec(b_addr, b.len() as u64);
+        prop_assert_eq!(got, b);
+        // The prefix of `a` before the overlap is intact.
+        let keep = a.len() as u64 - overlap;
+        prop_assert_eq!(mem.read_vec(base, keep), a[..keep as usize].to_vec());
+    }
+
+    #[test]
+    fn checksum_is_content_function(
+        data in proptest::collection::vec(any::<u8>(), 1..4_096),
+    ) {
+        let mut m1 = HostMemory::new(1 << 20);
+        let mut m2 = HostMemory::new(1 << 20);
+        let a1 = m1.alloc(8 << 10).unwrap();
+        let a2 = m2.alloc(8 << 10).unwrap();
+        m1.write(a1, &data);
+        m2.write(a2, &data);
+        prop_assert_eq!(m1.checksum(a1, data.len() as u64), m2.checksum(a2, data.len() as u64));
+    }
+
+    /// Any message packetizes into ≤MTU fragments that reassemble to
+    /// the identical message, and the wire encoding round-trips.
+    #[test]
+    fn mctp_round_trips(
+        body in proptest::collection::vec(any::<u8>(), 0..4_096),
+        src in 8u8..255,
+        dest in 8u8..255,
+        tag in 0u8..8,
+    ) {
+        let msg = MctpMessage::new(MessageType::NvmeMi, body);
+        let packets = msg.packetize(Eid(src), Eid(dest), tag);
+        prop_assert!(packets.iter().all(|p| p.payload.len() <= BASELINE_MTU));
+        prop_assert!(packets[0].som);
+        prop_assert!(packets.last().unwrap().eom);
+        let mut asm = Assembler::new();
+        let mut out = None;
+        for p in packets {
+            let wire = MctpPacket::from_wire(&p.to_wire()).unwrap();
+            prop_assert_eq!(&wire, &p);
+            if let Some(m) = asm.push(wire).unwrap() {
+                out = Some(m);
+            }
+        }
+        prop_assert_eq!(out.unwrap(), msg);
+    }
+
+    /// Dropping any single non-terminal packet of a multi-packet
+    /// message never yields a (possibly corrupt) completed message.
+    #[test]
+    fn mctp_loss_never_completes_corrupt(
+        body in proptest::collection::vec(any::<u8>(), 128..2_048),
+        drop_idx in any::<prop::sample::Index>(),
+    ) {
+        let msg = MctpMessage::new(MessageType::NvmeMi, body);
+        let mut packets = msg.packetize(Eid(9), Eid(8), 0);
+        prop_assume!(packets.len() >= 3);
+        let idx = drop_idx.index(packets.len() - 1); // never the EOM
+        packets.remove(idx);
+        let mut asm = Assembler::new();
+        for p in packets {
+            if let Ok(Some(m)) = asm.push(p) {
+                prop_assert_eq!(m, msg.clone(), "only the true message may complete");
+            }
+        }
+    }
+
+    #[test]
+    fn page_math_consistent(addr in any::<u64>()) {
+        let a = PciAddr::new(addr & ((1 << 48) - 1));
+        let base = a.page_base(4096);
+        let off = a.page_offset(4096);
+        prop_assert_eq!(base.raw() + off, a.raw());
+        prop_assert_eq!(base.page_offset(4096), 0);
+    }
+}

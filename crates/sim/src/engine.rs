@@ -1,0 +1,315 @@
+//! The event loop.
+//!
+//! A [`Simulation`] owns a *world* (the mutable state of every modeled
+//! component) and a [`Scheduler`] (a priority queue of pending events).
+//! Events are boxed closures that receive `&mut W` and `&mut Scheduler<W>`
+//! so they can mutate state and schedule follow-up events. Ties on the
+//! timestamp are broken by insertion order, which makes runs with the same
+//! seed bit-for-bit reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A boxed event body.
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+/// A pending event: fires at `at`, with insertion order `seq` breaking ties.
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The pending-event queue, passed to every event so it can schedule more.
+///
+/// # Examples
+///
+/// ```
+/// use bm_sim::{Simulation, SimDuration};
+/// let mut sim = Simulation::new(0u32);
+/// sim.schedule_in(SimDuration::from_us(1), |w: &mut u32, sched| {
+///     *w += 1;
+///     // chain a follow-up event
+///     sched.schedule_in(SimDuration::from_us(1), |w: &mut u32, _| *w += 10);
+/// });
+/// sim.run_until_idle();
+/// assert_eq!(*sim.world(), 11);
+/// ```
+pub struct Scheduler<W> {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<W> Scheduler<W> {
+    /// Creates an empty scheduler with the clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `action` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to fire `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    fn pop_due(&mut self) -> Option<Entry<W>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some(entry)
+    }
+}
+
+/// A complete simulation: a world plus its scheduler.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Simulation<W> {
+    world: W,
+    sched: Scheduler<W>,
+}
+
+impl<W> Simulation<W> {
+    /// Creates a simulation over `world` with the clock at zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to inspect or reconfigure
+    /// between phases of an experiment).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Exclusive access to the scheduler.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        self.sched.schedule_at(at, action);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        self.sched.schedule_in(delay, action);
+    }
+
+    /// Fires the next pending event, if any. Returns whether one fired.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop_due() {
+            Some(entry) => {
+                (entry.action)(&mut self.world, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty. Returns the number of events fired.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut fired = 0;
+        while self.step() {
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Runs until the clock would pass `deadline` (events at exactly
+    /// `deadline` still fire) or the queue empties. The clock is advanced
+    /// to `deadline` if it ends earlier. Returns the number of events fired.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut fired = 0;
+        loop {
+            match self.sched.heap.peek() {
+                Some(entry) if entry.at <= deadline => {
+                    let entry = self.sched.pop_due().expect("peeked entry");
+                    (entry.action)(&mut self.world, &mut self.sched);
+                    fired += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.sched.now < deadline {
+            self.sched.now = deadline;
+        }
+        fired
+    }
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for Simulation<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.sched.now)
+            .field("pending", &self.sched.pending())
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_in(SimDuration::from_us(3), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_in(SimDuration::from_us(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_in(SimDuration::from_us(2), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until_idle();
+        assert_eq!(sim.world(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let t = SimTime::from_nanos(10);
+        for i in 0..100 {
+            sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.world().len(), 100);
+        assert!(sim.world().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new(0u64);
+        fn tick(w: &mut u64, sched: &mut Scheduler<u64>) {
+            *w += 1;
+            if *w < 5 {
+                sched.schedule_in(SimDuration::from_us(10), tick);
+            }
+        }
+        sim.schedule_in(SimDuration::from_us(10), tick);
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.now(), SimTime::from_nanos(50_000));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_us(1), |w: &mut u32, _| *w += 1);
+        sim.schedule_in(SimDuration::from_us(10), |w: &mut u32, _| *w += 1);
+        let fired = sim.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(fired, 1);
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000));
+        // The later event is still pending and fires on the next run.
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 2);
+    }
+
+    #[test]
+    fn run_until_fires_events_at_exact_deadline() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_us(5), |w: &mut u32, _| *w += 1);
+        sim.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_in(SimDuration::from_us(1), |_, sched| {
+            sched.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run_until_idle();
+    }
+}

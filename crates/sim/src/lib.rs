@@ -1,0 +1,41 @@
+//! # bm-sim — deterministic discrete-event simulation engine
+//!
+//! Foundation substrate for the BM-Store reproduction. Provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`Simulation`] — an event loop over a user-supplied *world* type,
+//!   with events ordered by `(time, sequence)` so that runs are fully
+//!   deterministic,
+//! * [`rng::SimRng`] — a seeded random number generator with the sampling
+//!   helpers the device models need,
+//! * [`stats`] — latency histograms with percentiles, counters and
+//!   time-series recorders used by the benchmark harness,
+//! * [`resource`] — reusable queueing primitives (busy servers, token
+//!   buckets, shared bandwidth links) from which the device performance
+//!   models are composed.
+//!
+//! # Examples
+//!
+//! ```
+//! use bm_sim::{Simulation, SimTime, SimDuration};
+//!
+//! struct World { ticks: u32 }
+//!
+//! let mut sim = Simulation::new(World { ticks: 0 });
+//! sim.schedule_in(SimDuration::from_us(5), |w: &mut World, _sched| {
+//!     w.ticks += 1;
+//! });
+//! sim.run_until_idle();
+//! assert_eq!(sim.world().ticks, 1);
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_us(5));
+//! ```
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Scheduler, Simulation};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,323 @@
+//! Seeded randomness for device models.
+//!
+//! Every simulation owns exactly one [`SimRng`] (or deterministically
+//! forks per-component streams from it), so a run is fully reproducible
+//! from its seed. On top of the raw generator this module provides the
+//! sampling shapes used by the storage models: uniform jitter around a
+//! mean, exponential inter-arrivals, and log-normal service times (a good
+//! fit for flash read latency).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random number generator for one simulation (or one
+/// component's stream within it).
+///
+/// # Examples
+///
+/// ```
+/// use bm_sim::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Forks a new independent stream. The child's sequence is a pure
+    /// function of the parent's state and `salt`, so forking is itself
+    /// deterministic.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// A duration jittered uniformly within `±frac` of `mean`.
+    ///
+    /// `frac` is clamped to `[0, 1]`. With `frac = 0` this returns `mean`
+    /// unchanged.
+    pub fn jitter(&mut self, mean: SimDuration, frac: f64) -> SimDuration {
+        let frac = frac.clamp(0.0, 1.0);
+        if frac == 0.0 {
+            return mean;
+        }
+        let m = mean.as_nanos() as f64;
+        let lo = m * (1.0 - frac);
+        let hi = m * (1.0 + frac);
+        SimDuration::from_nanos((lo + (hi - lo) * self.unit()).round() as u64)
+    }
+
+    /// An exponentially distributed duration with the given mean
+    /// (inter-arrival times of a Poisson process).
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        let u = 1.0 - self.unit(); // avoid ln(0)
+        SimDuration::from_nanos((-(u.ln()) * mean.as_nanos() as f64).round() as u64)
+    }
+
+    /// A log-normally distributed duration with the given *median* and
+    /// shape `sigma` (standard deviation of the underlying normal).
+    ///
+    /// Flash read service times are well approximated by a log-normal with
+    /// a small sigma: most reads cluster at the median with a long but
+    /// light right tail.
+    pub fn lognormal(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        let z = self.standard_normal();
+        let v = median.as_nanos() as f64 * (sigma * z).exp();
+        SimDuration::from_nanos(v.round() as u64)
+    }
+
+    /// A standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Samples an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be non-empty with positive sum"
+        );
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// A Zipfian-distributed index in `[0, n)` with skew `theta`
+    /// (used by the YCSB workload generator).
+    ///
+    /// Uses the rejection-inversion-free approximate method: draws from
+    /// the normalized harmonic CDF computed incrementally. For large `n`
+    /// prefer building a [`ZipfTable`] once.
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self)
+    }
+}
+
+/// Precomputed CDF for Zipfian sampling over `n` items.
+///
+/// # Examples
+///
+/// ```
+/// use bm_sim::rng::ZipfTable;
+/// use bm_sim::SimRng;
+/// let table = ZipfTable::new(1000, 0.99);
+/// let mut rng = SimRng::seed_from(7);
+/// let i = table.sample(&mut rng);
+/// assert!(i < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the CDF for `n` items with skew `theta` (`0.99` is the YCSB
+    /// default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of items in the distribution.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_deterministic_and_distinct() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = SimRng::seed_from(9).fork(2);
+        // Extremely unlikely to collide if the streams are distinct.
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn jitter_within_bounds() {
+        let mut rng = SimRng::seed_from(1);
+        let mean = SimDuration::from_us(100);
+        for _ in 0..1000 {
+            let d = rng.jitter(mean, 0.1);
+            assert!(d >= SimDuration::from_us(90) && d <= SimDuration::from_us(110));
+        }
+        assert_eq!(rng.jitter(mean, 0.0), mean);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(2);
+        let mean = SimDuration::from_us(50);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_micros_f64()).sum();
+        let observed = total / n as f64;
+        assert!((observed - 50.0).abs() < 2.0, "observed mean {observed}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::seed_from(3);
+        let median = SimDuration::from_us(70);
+        let mut samples: Vec<u64> = (0..10_001)
+            .map(|_| rng.lognormal(median, 0.1).as_nanos())
+            .collect();
+        samples.sort_unstable();
+        let observed = samples[samples.len() / 2] as f64 / 1_000.0;
+        assert!((observed - 70.0).abs() < 3.0, "observed median {observed}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(4);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac = counts[2] as f64 / 30_000.0;
+        assert!((frac - 0.7).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let table = ZipfTable::new(10_000, 0.99);
+        let mut rng = SimRng::seed_from(5);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if table.sample(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // With theta=0.99, the first 1% of items draw a large share.
+        assert!(low as f64 / n as f64 > 0.3, "low fraction {low}/{n}");
+    }
+
+    #[test]
+    fn pick_and_below_stay_in_range() {
+        let mut rng = SimRng::seed_from(6);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+            assert!(rng.below(5) < 5);
+            let r = rng.range(3, 7);
+            assert!((3..7).contains(&r));
+        }
+    }
+}

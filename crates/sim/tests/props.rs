@@ -1,0 +1,135 @@
+//! Property tests on the simulation primitives: histogram accuracy,
+//! resource conservation, and event-loop ordering.
+
+use bm_sim::resource::{BandwidthLink, FifoServer, MultiServer, TokenBucket};
+use bm_sim::stats::LatencyHistogram;
+use bm_sim::{SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Reported percentiles are within the histogram's ~3% relative
+    /// error of the exact order statistics.
+    #[test]
+    fn histogram_percentiles_accurate(
+        mut values in proptest::collection::vec(1u64..100_000_000, 10..500),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(SimDuration::from_nanos(v));
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1] as f64;
+        let got = h.percentile(q).as_nanos() as f64;
+        prop_assert!(
+            got >= exact * 0.99 && got <= exact * 1.07,
+            "q={q}: got {got}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn histogram_mean_exact(values in proptest::collection::vec(1u64..10_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(SimDuration::from_nanos(v));
+        }
+        let exact = values.iter().sum::<u64>() / values.len() as u64;
+        prop_assert_eq!(h.mean().as_nanos(), exact);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min().as_nanos(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max().as_nanos(), *values.iter().max().unwrap());
+    }
+
+    /// A FIFO server is work-conserving: total completion span equals
+    /// total service when fed from time zero.
+    #[test]
+    fn fifo_server_work_conserving(services in proptest::collection::vec(1u64..100_000, 1..100)) {
+        let mut s = FifoServer::new();
+        let mut last = SimTime::ZERO;
+        for &svc in &services {
+            last = s.occupy(SimTime::ZERO, SimDuration::from_nanos(svc));
+        }
+        prop_assert_eq!(last.as_nanos(), services.iter().sum::<u64>());
+    }
+
+    /// A multi-server never finishes later than a single server would,
+    /// and never earlier than perfect parallel speedup allows.
+    #[test]
+    fn multi_server_bounded_by_ideal(
+        m in 1usize..16,
+        services in proptest::collection::vec(1u64..100_000, 1..100),
+    ) {
+        let mut multi = MultiServer::new(m);
+        let mut last = SimTime::ZERO;
+        for &svc in &services {
+            let done = multi.occupy(SimTime::ZERO, SimDuration::from_nanos(svc));
+            last = last.max(done);
+        }
+        let total: u64 = services.iter().sum();
+        let max_single = *services.iter().max().unwrap();
+        prop_assert!(last.as_nanos() <= total);
+        let ideal = (total / m as u64).max(max_single);
+        prop_assert!(last.as_nanos() >= ideal);
+    }
+
+    /// Transfers through a link take exactly bytes/rate in aggregate.
+    #[test]
+    fn bandwidth_link_conserves_rate(
+        rate_mbps in 1u64..10_000,
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..50),
+    ) {
+        let rate = rate_mbps as f64 * 1e6;
+        let mut link = BandwidthLink::new(rate);
+        let mut last = SimTime::ZERO;
+        for &n in &sizes {
+            last = link.transfer(SimTime::ZERO, n);
+        }
+        let total: u64 = sizes.iter().sum();
+        let expect = total as f64 / rate;
+        let got = last.as_secs_f64();
+        prop_assert!((got - expect).abs() < 1e-6 * sizes.len() as f64 + 1e-9,
+            "got {got}, expect {expect}");
+    }
+
+    /// Token buckets never report availability above capacity and
+    /// refill linearly.
+    #[test]
+    fn token_bucket_never_exceeds_capacity(
+        rate in 1.0f64..1e6,
+        cap_frac in 0.01f64..10.0,
+        steps in proptest::collection::vec((0u64..1_000_000, 0.0f64..100.0), 1..100),
+    ) {
+        let cap = (rate * cap_frac).max(1.0);
+        let mut tb = TokenBucket::new(rate, cap);
+        let mut t = 0u64;
+        for (gap, amount) in steps {
+            t += gap;
+            let now = SimTime::from_nanos(t);
+            let avail = tb.available(now);
+            prop_assert!(avail <= cap + 1e-9, "available {avail} > capacity {cap}");
+            let _ = tb.try_consume(now, amount);
+        }
+    }
+
+    /// Events fire in nondecreasing time order regardless of insertion
+    /// order, and ties preserve insertion order.
+    #[test]
+    fn event_loop_is_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<(u64, usize)>, s| {
+                w.push((s.now().as_nanos(), i));
+            });
+        }
+        sim.run_until_idle();
+        let fired = sim.into_world();
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "tie order violated");
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Firmware slots, download, and activation.
+//!
+//! The hot-upgrade flow (paper §IV-D, Table IX, Fig. 15) is: the
+//! BMS-Controller pushes a new image via `Firmware Image Download`
+//! admin commands, then issues `Firmware Commit`; activation freezes the
+//! device for several seconds while the controller masks the outage from
+//! the host. This module models the SSD half of that contract.
+
+use bm_nvme::Status;
+use std::fmt;
+
+/// Number of firmware slots (NVMe allows up to 7; the P4510 has 3).
+pub const SLOTS: usize = 3;
+
+/// Firmware-commit action (CDW10 bits 5:3 of the commit command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitAction {
+    /// Store the downloaded image to a slot without activating.
+    Store,
+    /// Store to a slot and activate it on the next reset.
+    StoreAndActivateOnReset,
+    /// Activate the image in the slot immediately (device-initiated
+    /// reset — the path hot-upgrade uses).
+    ActivateNow,
+}
+
+impl CommitAction {
+    /// Encodes to the CDW10 action field.
+    pub fn code(self) -> u32 {
+        match self {
+            CommitAction::Store => 0,
+            CommitAction::StoreAndActivateOnReset => 1,
+            CommitAction::ActivateNow => 3,
+        }
+    }
+
+    /// Decodes the CDW10 action field.
+    pub fn from_code(code: u32) -> Option<Self> {
+        match code {
+            0 => Some(CommitAction::Store),
+            1 => Some(CommitAction::StoreAndActivateOnReset),
+            3 => Some(CommitAction::ActivateNow),
+            _ => None,
+        }
+    }
+}
+
+/// A firmware version, carried in identify data and health reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirmwareVersion(pub String);
+
+impl fmt::Display for FirmwareVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The firmware bank of one SSD: slots, the download staging buffer, and
+/// the running version.
+///
+/// # Examples
+///
+/// ```
+/// use bm_ssd::firmware::{CommitAction, FirmwareBank};
+///
+/// let mut bank = FirmwareBank::new("VDV10131");
+/// bank.download_chunk(0, b"new-firmware-image-bytes").unwrap();
+/// bank.commit(2, CommitAction::ActivateNow).unwrap();
+/// assert_eq!(bank.running().0, "new-firmware-im"); // version = image prefix
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirmwareBank {
+    slots: [Option<Vec<u8>>; SLOTS],
+    staging: Vec<u8>,
+    running: FirmwareVersion,
+    active_slot: usize,
+    activations: u64,
+}
+
+impl FirmwareBank {
+    /// Creates a bank running `initial_version` from slot 1.
+    pub fn new(initial_version: &str) -> Self {
+        let mut slots: [Option<Vec<u8>>; SLOTS] = [None, None, None];
+        slots[0] = Some(initial_version.as_bytes().to_vec());
+        FirmwareBank {
+            slots,
+            staging: Vec::new(),
+            running: FirmwareVersion(initial_version.to_string()),
+            active_slot: 1,
+            activations: 0,
+        }
+    }
+
+    /// Appends an image chunk at `offset` (must be contiguous — the
+    /// simulation's controller always streams in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Status::InvalidField`] on a non-contiguous offset.
+    pub fn download_chunk(&mut self, offset: u64, data: &[u8]) -> Result<(), Status> {
+        if offset != self.staging.len() as u64 {
+            return Err(Status::InvalidField);
+        }
+        self.staging.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Commits the staged image to `slot` (1-based) with `action`.
+    /// Returns whether the commit *activated* new firmware (and thus the
+    /// device must freeze).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Status::InvalidFirmwareSlot`] for slot 0 or out-of-range
+    /// slots and [`Status::InvalidFirmwareImage`] if nothing was staged
+    /// when storing.
+    pub fn commit(&mut self, slot: usize, action: CommitAction) -> Result<bool, Status> {
+        if slot == 0 || slot > SLOTS {
+            return Err(Status::InvalidFirmwareSlot);
+        }
+        let idx = slot - 1;
+        match action {
+            CommitAction::Store | CommitAction::StoreAndActivateOnReset => {
+                if self.staging.is_empty() {
+                    return Err(Status::InvalidFirmwareImage);
+                }
+                self.slots[idx] = Some(std::mem::take(&mut self.staging));
+                Ok(false)
+            }
+            CommitAction::ActivateNow => {
+                // Activate the staged image if present, else the slot's.
+                if !self.staging.is_empty() {
+                    self.slots[idx] = Some(std::mem::take(&mut self.staging));
+                }
+                let image = self.slots[idx]
+                    .as_ref()
+                    .ok_or(Status::InvalidFirmwareImage)?;
+                let version: String = String::from_utf8_lossy(image).chars().take(15).collect();
+                self.running = FirmwareVersion(version);
+                self.active_slot = slot;
+                self.activations += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// The running firmware version.
+    pub fn running(&self) -> &FirmwareVersion {
+        &self.running
+    }
+
+    /// The active slot (1-based).
+    pub fn active_slot(&self) -> usize {
+        self.active_slot
+    }
+
+    /// Number of activations performed (each one froze the device).
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Bytes currently staged for download.
+    pub fn staged_len(&self) -> usize {
+        self.staging.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_must_be_contiguous() {
+        let mut bank = FirmwareBank::new("v1");
+        bank.download_chunk(0, &[1, 2, 3]).unwrap();
+        assert_eq!(bank.download_chunk(10, &[4]), Err(Status::InvalidField));
+        bank.download_chunk(3, &[4, 5]).unwrap();
+        assert_eq!(bank.staged_len(), 5);
+    }
+
+    #[test]
+    fn store_then_activate_flow() {
+        let mut bank = FirmwareBank::new("v1");
+        bank.download_chunk(0, b"v2-image").unwrap();
+        assert_eq!(bank.commit(2, CommitAction::Store), Ok(false));
+        assert_eq!(bank.running().0, "v1");
+        assert_eq!(bank.commit(2, CommitAction::ActivateNow), Ok(true));
+        assert_eq!(bank.running().0, "v2-image");
+        assert_eq!(bank.active_slot(), 2);
+        assert_eq!(bank.activations(), 1);
+    }
+
+    #[test]
+    fn activate_with_staged_image() {
+        let mut bank = FirmwareBank::new("v1");
+        bank.download_chunk(0, b"v3").unwrap();
+        assert_eq!(bank.commit(3, CommitAction::ActivateNow), Ok(true));
+        assert_eq!(bank.running().0, "v3");
+    }
+
+    #[test]
+    fn bad_slots_and_empty_images_rejected() {
+        let mut bank = FirmwareBank::new("v1");
+        assert_eq!(
+            bank.commit(0, CommitAction::Store),
+            Err(Status::InvalidFirmwareSlot)
+        );
+        assert_eq!(
+            bank.commit(4, CommitAction::ActivateNow),
+            Err(Status::InvalidFirmwareSlot)
+        );
+        assert_eq!(
+            bank.commit(2, CommitAction::Store),
+            Err(Status::InvalidFirmwareImage)
+        );
+        // Slot 2 holds nothing to activate.
+        assert_eq!(
+            bank.commit(2, CommitAction::ActivateNow),
+            Err(Status::InvalidFirmwareImage)
+        );
+    }
+
+    #[test]
+    fn commit_action_codes_round_trip() {
+        for a in [
+            CommitAction::Store,
+            CommitAction::StoreAndActivateOnReset,
+            CommitAction::ActivateNow,
+        ] {
+            assert_eq!(CommitAction::from_code(a.code()), Some(a));
+        }
+        assert_eq!(CommitAction::from_code(7), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Logical block contents.
+//!
+//! Integrity tests need the bytes a host wrote to come back on read,
+//! through every hop of the DMA path. Performance runs push hundreds of
+//! thousands of I/Os and must not accumulate gigabytes, so the store has
+//! two modes:
+//!
+//! * **capture** — written blocks are retained verbatim,
+//! * **pattern** — writes are discarded; reads of any block return a
+//!   deterministic pattern derived from `(ssd, lba)`, so data still
+//!   flows (checksums remain reproducible) at O(1) memory.
+
+use bm_nvme::types::Lba;
+use std::collections::HashMap;
+
+/// Content store for one SSD's physical LBA space.
+///
+/// # Examples
+///
+/// ```
+/// use bm_ssd::BlockStore;
+/// use bm_nvme::Lba;
+///
+/// let mut store = BlockStore::new(0, 4096, true);
+/// store.write_block(Lba(7), &vec![0xAB; 4096]);
+/// assert_eq!(store.read_block(Lba(7))[0], 0xAB);
+/// ```
+#[derive(Debug)]
+pub struct BlockStore {
+    ssd_seed: u64,
+    block_size: u64,
+    capture: bool,
+    blocks: HashMap<u64, Box<[u8]>>,
+}
+
+impl BlockStore {
+    /// Creates a store. `capture` selects retain-vs-pattern mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two ≥ 512.
+    pub fn new(ssd_seed: u64, block_size: u64, capture: bool) -> Self {
+        assert!(
+            block_size.is_power_of_two() && block_size >= 512,
+            "block size must be a power of two >= 512"
+        );
+        BlockStore {
+            ssd_seed,
+            block_size,
+            capture,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// The logical block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Whether written data is retained.
+    pub fn captures(&self) -> bool {
+        self.capture
+    }
+
+    /// Writes one block. In pattern mode the data is accounted but not
+    /// retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block.
+    pub fn write_block(&mut self, lba: Lba, data: &[u8]) {
+        assert_eq!(data.len() as u64, self.block_size, "partial block write");
+        if self.capture {
+            self.blocks.insert(lba.raw(), data.into());
+        }
+    }
+
+    /// Reads one block: captured bytes if present, else the deterministic
+    /// pattern for this `(ssd, lba)`.
+    pub fn read_block(&self, lba: Lba) -> Vec<u8> {
+        if let Some(data) = self.blocks.get(&lba.raw()) {
+            return data.to_vec();
+        }
+        self.pattern_block(lba)
+    }
+
+    /// The pattern an unwritten block reads as.
+    pub fn pattern_block(&self, lba: Lba) -> Vec<u8> {
+        let mut out = vec![0u8; self.block_size as usize];
+        let mut state = self
+            .ssd_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(lba.raw())
+            | 1;
+        for chunk in out.chunks_mut(8) {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+        out
+    }
+
+    /// Number of captured blocks resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_mode_round_trips() {
+        let mut s = BlockStore::new(3, 4096, true);
+        let data: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        s.write_block(Lba(42), &data);
+        assert_eq!(s.read_block(Lba(42)), data);
+        assert_eq!(s.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn pattern_mode_discards_but_stays_deterministic() {
+        let mut s = BlockStore::new(3, 4096, false);
+        s.write_block(Lba(42), &vec![1u8; 4096]);
+        assert_eq!(s.resident_blocks(), 0);
+        let a = s.read_block(Lba(42));
+        let b = s.read_block(Lba(42));
+        assert_eq!(a, b);
+        assert_ne!(a, vec![1u8; 4096]);
+    }
+
+    #[test]
+    fn patterns_differ_by_lba_and_ssd() {
+        let s0 = BlockStore::new(0, 4096, false);
+        let s1 = BlockStore::new(1, 4096, false);
+        assert_ne!(s0.pattern_block(Lba(5)), s0.pattern_block(Lba(6)));
+        assert_ne!(s0.pattern_block(Lba(5)), s1.pattern_block(Lba(5)));
+    }
+
+    #[test]
+    fn unwritten_blocks_read_pattern_in_capture_mode() {
+        let s = BlockStore::new(9, 4096, true);
+        assert_eq!(s.read_block(Lba(1)), s.pattern_block(Lba(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "partial block")]
+    fn partial_write_rejected() {
+        let mut s = BlockStore::new(0, 4096, true);
+        s.write_block(Lba(0), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Testbed construction: scheme choice, device layout, knobs.
+
+use bm_host::KernelProfile;
+use bm_ssd::{DataMode, PerfProfile, SsdId};
+use bmstore_core::engine::qos::QosLimit;
+use bmstore_core::Placement;
+
+/// Which storage virtualization scheme attaches the devices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeKind {
+    /// Bare-metal native NVMe (the paper's baseline).
+    Native,
+    /// VFIO passthrough into VMs (whole device per VM).
+    Vfio,
+    /// BM-Store: engine + controller, namespaces bound to VFs.
+    BmStore {
+        /// Devices attach inside VMs (true for §V-C/D/E, false for
+        /// the bare-metal §V-B runs).
+        in_vm: bool,
+    },
+    /// SPDK vhost with this many dedicated polling cores.
+    SpdkVhost {
+        /// Reserved host polling cores.
+        cores: usize,
+    },
+    /// A LeapIO-style ARM full offload (ablation).
+    ArmOffload,
+}
+
+/// One tenant device to create.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Capacity in bytes (BM-Store namespace size; partition size for
+    /// vhost; ignored for whole-disk native/VFIO).
+    pub size_bytes: u64,
+    /// Placement for BM-Store bindings.
+    pub placement: Placement,
+    /// QoS limit (BM-Store only).
+    pub qos: QosLimit,
+}
+
+impl DeviceSpec {
+    /// A whole-disk-sized device on one SSD.
+    pub fn whole_disk(ssd: u8) -> Self {
+        DeviceSpec {
+            size_bytes: 1536 << 30,
+            placement: Placement::Single(SsdId(ssd)),
+            qos: QosLimit::UNLIMITED,
+        }
+    }
+
+    /// The paper's multi-VM namespace: 256 GB round-robin (§V-D).
+    pub fn vm_namespace() -> Self {
+        DeviceSpec {
+            size_bytes: 256 << 30,
+            placement: Placement::RoundRobin,
+            qos: QosLimit::UNLIMITED,
+        }
+    }
+
+    /// A 256 GB namespace placed on one SSD (per-tenant isolation, the
+    /// §V-E mixed-workload layout).
+    pub fn vm_namespace_on(ssd: u8) -> Self {
+        DeviceSpec {
+            size_bytes: 256 << 30,
+            placement: Placement::Single(SsdId(ssd)),
+            qos: QosLimit::UNLIMITED,
+        }
+    }
+}
+
+/// Full testbed configuration.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// The scheme under test.
+    pub scheme: SchemeKind,
+    /// Number of back-end SSDs.
+    pub ssds: usize,
+    /// SSD performance profile.
+    pub ssd_profile: PerfProfile,
+    /// Whether I/O payload bytes actually move (integrity tests).
+    pub data_mode: DataMode,
+    /// Host kernel profile.
+    pub kernel: KernelProfile,
+    /// Tenant devices.
+    pub devices: Vec<DeviceSpec>,
+    /// Ring depth of tenant queues.
+    pub queue_entries: u16,
+    /// RNG seed.
+    pub seed: u64,
+    /// Apply the kernel's block-layer plug factor to reported latency
+    /// (the Table VI fio configuration exhibits it; Table V's does not).
+    pub apply_plug_factor: bool,
+    /// Overrides the SPDK vhost tuning (defaults by kernel profile).
+    pub spdk_config: Option<bm_baselines::spdk::SpdkVhostConfig>,
+    /// BM-Store ablation: store-and-forward card-DRAM bandwidth
+    /// (`None` = the paper's zero-copy DMA routing).
+    pub store_and_forward_bw: Option<f64>,
+}
+
+impl TestbedConfig {
+    /// Bare-metal native, one device per SSD.
+    pub fn native(ssds: usize) -> Self {
+        TestbedConfig {
+            scheme: SchemeKind::Native,
+            ssds,
+            ssd_profile: PerfProfile::p4510_2tb(),
+            data_mode: DataMode::TimingOnly,
+            kernel: KernelProfile::centos79_310(),
+            devices: (0..ssds).map(|i| DeviceSpec::whole_disk(i as u8)).collect(),
+            queue_entries: 2048,
+            seed: 42,
+            apply_plug_factor: false,
+            spdk_config: None,
+            store_and_forward_bw: None,
+        }
+    }
+
+    /// Bare-metal BM-Store: the §V-B configuration (1536 GB namespace
+    /// from one SSD per device).
+    pub fn bm_store_bare_metal(ssds: usize) -> Self {
+        TestbedConfig {
+            scheme: SchemeKind::BmStore { in_vm: false },
+            devices: (0..ssds).map(|i| DeviceSpec::whole_disk(i as u8)).collect(),
+            ..Self::native(ssds)
+        }
+    }
+
+    /// Single-VM comparisons (§V-C): one device, chosen scheme.
+    pub fn single_vm(scheme: SchemeKind) -> Self {
+        TestbedConfig {
+            scheme,
+            devices: vec![DeviceSpec::whole_disk(0)],
+            ..Self::native(1)
+        }
+    }
+
+    /// Multi-VM BM-Store (§V-D): `vms` round-robin 256 GB namespaces on
+    /// 4 SSDs.
+    pub fn multi_vm_bm_store(vms: usize) -> Self {
+        TestbedConfig {
+            scheme: SchemeKind::BmStore { in_vm: true },
+            devices: (0..vms).map(|_| DeviceSpec::vm_namespace()).collect(),
+            ..Self::native(4)
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the kernel profile.
+    pub fn with_kernel(mut self, kernel: KernelProfile) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Enables full data movement.
+    pub fn with_data_mode(mut self, mode: DataMode) -> Self {
+        self.data_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        let n = TestbedConfig::native(4);
+        assert_eq!(n.devices.len(), 4);
+        let b = TestbedConfig::bm_store_bare_metal(1);
+        assert!(matches!(b.scheme, SchemeKind::BmStore { in_vm: false }));
+        let m = TestbedConfig::multi_vm_bm_store(26);
+        assert_eq!(m.devices.len(), 26);
+        assert_eq!(m.ssds, 4);
+        let s = TestbedConfig::single_vm(SchemeKind::SpdkVhost { cores: 1 });
+        assert_eq!(s.devices.len(), 1);
+    }
+}

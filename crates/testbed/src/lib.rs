@@ -1,0 +1,25 @@
+//! # bm-testbed — the composed simulation testbed
+//!
+//! Wires hosts, schemes (native / VFIO / BM-Store / SPDK vhost / ARM
+//! offload), and back-end SSDs into one deterministic event-driven
+//! simulation, and exposes the [`Client`] trait workloads implement.
+//!
+//! # Examples
+//!
+//! ```
+//! use bm_testbed::{Testbed, TestbedConfig, World};
+//!
+//! let tb = Testbed::new(TestbedConfig::native(1));
+//! assert_eq!(tb.device_count(), 1);
+//! let world = World::new(tb);
+//! let world = world.run(None); // no clients: returns immediately
+//! assert_eq!(world.tb.device_count(), 1);
+//! ```
+
+pub mod config;
+pub mod types;
+pub mod world;
+
+pub use config::{DeviceSpec, SchemeKind, TestbedConfig};
+pub use types::{BufferId, Client, ClientId, ClientOutput, Completion, DeviceId, IoOp, IoRequest};
+pub use world::{Testbed, World};

@@ -1,0 +1,1190 @@
+//! The composed simulation world.
+//!
+//! A [`World`] owns one host (memory, kernel profile, CPU pool), the
+//! back-end SSDs, the scheme under test (native rings, VFIO into a VM,
+//! the BMS-Engine + BMS-Controller, or an SPDK vhost target), the
+//! tenant devices, and the registered workload [`Client`]s. Event flow:
+//!
+//! ```text
+//! client ──submit──▶ host SQ ──doorbell──▶ scheme path ──▶ SSD model
+//!    ▲                                                        │
+//!    └──deliver──◀ host stack ◀──interrupt──◀ CQE ◀──completion┘
+//! ```
+//!
+//! Every hop is a scheduled event at the latency the respective model
+//! computes, so fio-style measurements emerge rather than being
+//! asserted.
+
+use crate::config::{SchemeKind, TestbedConfig};
+use crate::types::{BufferId, Client, ClientId, Completion, DeviceId, IoOp, IoRequest};
+use bm_baselines::arm_offload::{ArmOffload, ArmOffloadConfig};
+use bm_baselines::spdk::{SpdkVhost, SpdkVhostConfig};
+use bm_baselines::vfio::VfioCosts;
+use bm_host::cpu::CpuPool;
+use bm_host::kernel::KernelProfile;
+use bm_nvme::command::{IoOpcode, Sqe, CQE_SIZE, SQE_SIZE};
+use bm_nvme::mi::{HealthStatus, MiResponse};
+use bm_nvme::prp::PrpPair;
+use bm_nvme::queue::{CompletionQueue, DoorbellLayout, SubmissionQueue};
+use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
+use bm_nvme::{Cqe, Status};
+use bm_pcie::mctp::Eid;
+use bm_pcie::{FunctionId, HostMemory, PciAddr};
+use bm_sim::resource::FifoServer;
+use bm_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
+use bm_ssd::firmware::CommitAction;
+use bm_ssd::{CompletedIo, Ssd, SsdConfig, SsdId};
+use bmstore_core::controller::commands::BmsCommand;
+use bmstore_core::controller::{request_packets, BackendAdmin, BmsController, ControllerAction};
+use bmstore_core::engine::{BmsEngine, EngineAction, EngineConfig};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Latency of a doorbell/MSI hop across the PCIe fabric.
+const BUS_HOP: SimDuration = SimDuration::from_nanos(300);
+/// Virtio kick cost on the guest (ioeventfd exit).
+const VIRTIO_KICK: SimDuration = SimDuration::from_nanos(600);
+
+struct PendingHost {
+    client: ClientId,
+    tag: u64,
+    submitted: SimTime,
+    bytes: u64,
+    is_write: bool,
+}
+
+struct VmState {
+    irq_cpu: FifoServer,
+    costs: VfioCosts,
+}
+
+enum Attachment {
+    /// Rings registered directly at the SSD (native and VFIO).
+    Direct { ssd: usize, qid: QueueId },
+    /// A BM-Store front-end function.
+    BmStoreFn { func: FunctionId, qid: QueueId },
+    /// Mediated by a software data path (SPDK vhost or ARM offload):
+    /// guest rings are polled, commands forwarded to SSD rings the
+    /// mediator owns.
+    Mediated {
+        ssd: usize,
+        qid: QueueId,
+        lba_offset: u64,
+        /// Mediator's consumer view of the guest SQ.
+        fetch_sq: SubmissionQueue,
+        /// Mediator's producer view of the SSD SQ.
+        ssd_sq: SubmissionQueue,
+        /// Mediator's producer view of the guest CQ.
+        guest_cq: CompletionQueue,
+        /// Consumer position on the SSD CQ (for its head doorbell).
+        backend_cq_head: u16,
+        backend_cq_entries: u16,
+    },
+}
+
+struct Device {
+    sq: SubmissionQueue,
+    cq: CompletionQueue,
+    attachment: Attachment,
+    free_cids: Vec<u16>,
+    pending: HashMap<u16, PendingHost>,
+    waiting: VecDeque<(ClientId, IoRequest)>,
+    vm: Option<VmState>,
+    size_blocks: u64,
+    /// Per-queue completion softirq context (irq affinity spreads
+    /// device queues over cores, so the serialization is per device).
+    softirq: FifoServer,
+}
+
+enum SchemeState {
+    Native,
+    BmStore {
+        engine: Box<BmsEngine>,
+        controller: Box<BmsController>,
+    },
+    Spdk {
+        vhost: SpdkVhost,
+    },
+    Arm {
+        arm: ArmOffload,
+    },
+}
+
+/// The composed testbed (everything except the clients).
+pub struct Testbed {
+    cfg: TestbedConfig,
+    /// Host physical memory (rings, PRP lists, data buffers).
+    pub host_mem: HostMemory,
+    /// Host CPU pool (polling reservations, utilization accounting).
+    pub cpu: CpuPool,
+    kernel: KernelProfile,
+    ssds: Vec<Ssd>,
+    scheme: SchemeState,
+    devices: Vec<Device>,
+    buffers: Vec<PrpPair>,
+    /// Maps (ssd index, back-end qid) → device for direct completions.
+    direct_map: HashMap<(usize, u16), DeviceId>,
+    #[allow(dead_code)]
+    rng: SimRng,
+}
+
+impl Testbed {
+    /// Builds the testbed from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (e.g. more
+    /// whole-disk devices than SSDs for a direct scheme).
+    pub fn new(cfg: TestbedConfig) -> Self {
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let ssds: Vec<Ssd> = (0..cfg.ssds)
+            .map(|i| {
+                let mut ssd_cfg = SsdConfig::p4510_2tb(SsdId(i as u8))
+                    .with_profile(cfg.ssd_profile.clone())
+                    .with_data_mode(cfg.data_mode);
+                ssd_cfg.seed ^= cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Ssd::new(ssd_cfg)
+            })
+            .collect();
+        let mut tb = Testbed {
+            kernel: cfg.kernel.clone(),
+            scheme: SchemeState::Native,
+            devices: Vec::new(),
+            buffers: Vec::new(),
+            direct_map: HashMap::new(),
+            rng: rng.fork(0xBEEF),
+            host_mem: HostMemory::new(8 << 30),
+            cpu: CpuPool::xeon_8163_dual(),
+            ssds,
+            cfg,
+        };
+        tb.build_scheme();
+        tb
+    }
+
+    fn alloc_rings(&mut self, qid: QueueId, entries: u16) -> (SubmissionQueue, CompletionQueue) {
+        let sq_base = self
+            .host_mem
+            .alloc(entries as u64 * SQE_SIZE)
+            .expect("ring memory");
+        let cq_base = self
+            .host_mem
+            .alloc(entries as u64 * CQE_SIZE)
+            .expect("ring memory");
+        (
+            SubmissionQueue::new(qid, sq_base, entries),
+            CompletionQueue::new(qid, cq_base, entries),
+        )
+    }
+
+    fn new_device(
+        sq: SubmissionQueue,
+        cq: CompletionQueue,
+        attachment: Attachment,
+        vm: Option<VmState>,
+        size_blocks: u64,
+    ) -> Device {
+        let entries = sq.entries();
+        Device {
+            sq,
+            cq,
+            attachment,
+            free_cids: (0..entries - 1).rev().collect(),
+            pending: HashMap::new(),
+            waiting: VecDeque::new(),
+            vm,
+            size_blocks,
+            softirq: FifoServer::new(),
+        }
+    }
+
+    fn build_scheme(&mut self) {
+        let entries = self.cfg.queue_entries;
+        let scheme = self.cfg.scheme.clone();
+        let specs = self.cfg.devices.clone();
+        match scheme {
+            SchemeKind::Native | SchemeKind::Vfio => {
+                let in_vm = matches!(scheme, SchemeKind::Vfio);
+                for (i, _spec) in specs.iter().enumerate() {
+                    assert!(i < self.ssds.len(), "one whole SSD per direct device");
+                    let (sq, cq) = self.alloc_rings(QueueId(1), entries);
+                    let ssd_sq = SubmissionQueue::new(QueueId(1), sq.base(), entries);
+                    let ssd_cq = CompletionQueue::new(QueueId(1), cq.base(), entries);
+                    let qid = self.ssds[i].attach_io_queues(ssd_sq, ssd_cq);
+                    let blocks = self.ssds[i].namespace().blocks();
+                    self.direct_map.insert((i, qid.0), DeviceId(i));
+                    let vm = in_vm.then(|| VmState {
+                        irq_cpu: FifoServer::new(),
+                        costs: VfioCosts::paper_default(),
+                    });
+                    self.devices.push(Self::new_device(
+                        sq,
+                        cq,
+                        Attachment::Direct { ssd: i, qid },
+                        vm,
+                        blocks,
+                    ));
+                }
+                self.scheme = SchemeState::Native;
+            }
+            SchemeKind::BmStore { in_vm } => {
+                let mut engine_cfg = EngineConfig::paper_default(self.ssds.len());
+                engine_cfg.store_and_forward_bw = self.cfg.store_and_forward_bw;
+                let mut engine = Box::new(BmsEngine::new(engine_cfg));
+                let controller = Box::new(BmsController::new(bm_pcie::mctp::Eid(8)));
+                for (i, ssd) in self.ssds.iter_mut().enumerate() {
+                    let (sq, cq) = engine.ssd_rings(SsdId(i as u8));
+                    ssd.attach_io_queues(sq, cq);
+                }
+                for (i, spec) in specs.iter().enumerate() {
+                    let func = FunctionId::new(i as u8).expect("≤128 devices");
+                    engine
+                        .bind_namespace(func, spec.size_bytes, spec.placement)
+                        .expect("binding fits the back-end");
+                    engine.set_qos_limit(func, spec.qos);
+                    engine.set_function_enabled(func, true);
+                    let (sq, cq) = self.alloc_rings(QueueId(1), entries);
+                    engine
+                        .function_mut(func)
+                        .create_io_cq(QueueId(1), cq.base(), entries);
+                    engine
+                        .function_mut(func)
+                        .create_io_sq(QueueId(1), sq.base(), entries);
+                    let vm = in_vm.then(|| VmState {
+                        irq_cpu: FifoServer::new(),
+                        costs: VfioCosts::paper_default(),
+                    });
+                    self.devices.push(Self::new_device(
+                        sq,
+                        cq,
+                        Attachment::BmStoreFn {
+                            func,
+                            qid: QueueId(1),
+                        },
+                        vm,
+                        spec.size_bytes / 4096,
+                    ));
+                }
+                self.scheme = SchemeState::BmStore { engine, controller };
+            }
+            SchemeKind::SpdkVhost { cores } => {
+                let reserved = self
+                    .cpu
+                    .reserve(cores)
+                    .expect("enough cores for vhost polling");
+                let vhost_cfg = self.cfg.spdk_config.clone().unwrap_or_else(|| {
+                    if self.cfg.kernel.name.contains("3.10") {
+                        SpdkVhostConfig::centos310()
+                    } else {
+                        SpdkVhostConfig::modern_kernel()
+                    }
+                });
+                let vhost = SpdkVhost::new(vhost_cfg, reserved);
+                self.build_mediated_devices(&specs, entries, true);
+                self.scheme = SchemeState::Spdk { vhost };
+            }
+            SchemeKind::ArmOffload => {
+                let arm = ArmOffload::new(ArmOffloadConfig::leapio_like());
+                self.build_mediated_devices(&specs, entries, false);
+                self.scheme = SchemeState::Arm { arm };
+            }
+        }
+    }
+
+    fn build_mediated_devices(
+        &mut self,
+        specs: &[crate::config::DeviceSpec],
+        entries: u16,
+        in_vm: bool,
+    ) {
+        for (i, spec) in specs.iter().enumerate() {
+            let ssd = i % self.ssds.len();
+            let size_blocks = spec.size_bytes / 4096;
+            let lba_offset = (i / self.ssds.len()) as u64 * size_blocks;
+            let (sq, cq) = self.alloc_rings(QueueId(1), entries);
+            let fetch_sq = SubmissionQueue::new(QueueId(1), sq.base(), entries);
+            let guest_cq = CompletionQueue::new(QueueId(1), cq.base(), entries);
+            let (bsq, bcq) = self.alloc_rings(QueueId(1), entries);
+            let ssd_view_sq = SubmissionQueue::new(QueueId(1), bsq.base(), entries);
+            let ssd_view_cq = CompletionQueue::new(QueueId(1), bcq.base(), entries);
+            let qid = self.ssds[ssd].attach_io_queues(ssd_view_sq, ssd_view_cq);
+            self.direct_map.insert((ssd, qid.0), DeviceId(i));
+            let vm = in_vm.then(|| VmState {
+                irq_cpu: FifoServer::new(),
+                costs: VfioCosts {
+                    interrupt_delivery: SimDuration::from_nanos(4_000),
+                    ..VfioCosts::paper_default()
+                },
+            });
+            self.devices.push(Self::new_device(
+                sq,
+                cq,
+                Attachment::Mediated {
+                    ssd,
+                    qid,
+                    lba_offset,
+                    fetch_sq,
+                    ssd_sq: bsq,
+                    guest_cq,
+                    backend_cq_head: 0,
+                    backend_cq_entries: entries,
+                },
+                vm,
+                size_blocks,
+            ));
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.cfg
+    }
+
+    /// Number of tenant devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Size of a device in logical blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is out of range.
+    pub fn device_blocks(&self, dev: DeviceId) -> u64 {
+        self.devices[dev.0].size_blocks
+    }
+
+    /// Registers a DMA buffer of `bytes` and prebuilds its PRPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if host memory is exhausted.
+    pub fn register_buffer(&mut self, bytes: u64) -> BufferId {
+        let buf = self.host_mem.alloc(bytes).expect("buffer memory");
+        let prp = PrpPair::build(&mut self.host_mem, buf, bytes);
+        self.buffers.push(prp);
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Buffer base address (integrity tests write patterns through it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not registered.
+    pub fn buffer_addr(&self, buf: BufferId) -> PciAddr {
+        self.buffers[buf.0].prp1
+    }
+
+    /// Access to the BMS-Engine when running the BM-Store scheme.
+    pub fn engine(&self) -> Option<&BmsEngine> {
+        match &self.scheme {
+            SchemeState::BmStore { engine, .. } => Some(engine),
+            _ => None,
+        }
+    }
+
+    /// Access to the BMS-Controller when running BM-Store.
+    pub fn controller(&self) -> Option<&BmsController> {
+        match &self.scheme {
+            SchemeState::BmStore { controller, .. } => Some(controller),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to engine and controller together (management-
+    /// plane drivers need both plus host memory).
+    pub fn bm_store_parts(
+        &mut self,
+    ) -> Option<(
+        &mut BmsEngine,
+        &mut BmsController,
+        &mut HostMemory,
+        &mut Vec<Ssd>,
+    )> {
+        match &mut self.scheme {
+            SchemeState::BmStore { engine, controller } => {
+                Some((engine, controller, &mut self.host_mem, &mut self.ssds))
+            }
+            _ => None,
+        }
+    }
+
+    /// Access to a back-end SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn ssd(&self, i: usize) -> &Ssd {
+        &self.ssds[i]
+    }
+
+    /// The host kernel profile in use.
+    pub fn kernel(&self) -> &KernelProfile {
+        &self.kernel
+    }
+
+    /// Host CPU seconds burnt by polling cores (0 except for SPDK).
+    pub fn polling_cpu_busy(&self) -> SimDuration {
+        match &self.scheme {
+            SchemeState::Spdk { vhost } => vhost.cpu_busy(),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+/// A boxed harness action scheduled via [`World::schedule_action`].
+type RawAction = Box<dyn FnOnce(&mut World, &mut Scheduler<World>)>;
+
+enum ClientCall {
+    Start,
+    Completion(Completion),
+    Timer,
+}
+
+/// The world: testbed + clients, driven by [`World::run`].
+pub struct World {
+    /// The composed testbed.
+    pub tb: Testbed,
+    clients: Vec<Option<Box<dyn Client>>>,
+    pending_mgmt: Vec<(SimTime, BmsCommand)>,
+    pending_raw: Vec<(SimTime, RawAction)>,
+    mgmt_responses: Rc<RefCell<Vec<(SimTime, MiResponse)>>>,
+    next_mgmt_tag: u8,
+}
+
+impl World {
+    /// Wraps a testbed with no clients yet.
+    pub fn new(tb: Testbed) -> Self {
+        World {
+            tb,
+            clients: Vec::new(),
+            pending_mgmt: Vec::new(),
+            pending_raw: Vec::new(),
+            mgmt_responses: Rc::new(RefCell::new(Vec::new())),
+            next_mgmt_tag: 0,
+        }
+    }
+
+    /// Schedules an out-of-band management command (sent to the
+    /// BMS-Controller over MCTP) at `at`. Only meaningful for BM-Store
+    /// testbeds.
+    pub fn schedule_command(&mut self, at: SimTime, cmd: BmsCommand) {
+        self.pending_mgmt.push((at, cmd));
+    }
+
+    /// Schedules an arbitrary harness action at `at` (e.g. the physical
+    /// SSD swap of a hot-plug experiment).
+    pub fn schedule_action(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut World, &mut Scheduler<World>) + 'static,
+    ) {
+        self.pending_raw.push((at, Box::new(f)));
+    }
+
+    /// Management responses received so far, with their arrival times.
+    pub fn mgmt_responses(&self) -> Rc<RefCell<Vec<(SimTime, MiResponse)>>> {
+        Rc::clone(&self.mgmt_responses)
+    }
+
+    /// Registers a client.
+    pub fn add_client(&mut self, client: Box<dyn Client>) -> ClientId {
+        self.clients.push(Some(client));
+        ClientId(self.clients.len() - 1)
+    }
+
+    /// Runs the simulation until the event queue drains (or `deadline`
+    /// passes); returns the world for inspection.
+    pub fn run(mut self, deadline: Option<SimTime>) -> World {
+        let ids: Vec<ClientId> = (0..self.clients.len()).map(ClientId).collect();
+        let mgmt = std::mem::take(&mut self.pending_mgmt);
+        let raw = std::mem::take(&mut self.pending_raw);
+        let mut sim = Simulation::new(self);
+        for id in ids {
+            sim.schedule_at(SimTime::ZERO, move |w: &mut World, s| {
+                w.call_client(s, id, ClientCall::Start);
+            });
+        }
+        for (at, cmd) in mgmt {
+            sim.schedule_at(at, move |w: &mut World, s| {
+                w.do_management(s, cmd);
+            });
+        }
+        for (at, f) in raw {
+            sim.schedule_at(at, f);
+        }
+        match deadline {
+            Some(t) => {
+                sim.run_until(t);
+            }
+            None => {
+                sim.run_until_idle();
+            }
+        }
+        sim.into_world()
+    }
+
+    /// Borrow a client back after a run (e.g. to read its statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is invalid.
+    pub fn client(&self, id: ClientId) -> &dyn Client {
+        self.clients[id.0].as_deref().expect("client present")
+    }
+
+    fn call_client(&mut self, s: &mut Scheduler<World>, id: ClientId, call: ClientCall) {
+        let now = s.now();
+        let mut client = self.clients[id.0].take().expect("client present");
+        let out = match call {
+            ClientCall::Start => client.start(now),
+            ClientCall::Completion(c) => client.on_completion(now, c),
+            ClientCall::Timer => client.on_timer(now),
+        };
+        self.clients[id.0] = Some(client);
+        for req in out.requests {
+            self.submit_request(s, id, req);
+        }
+        if let Some(at) = out.next_timer {
+            s.schedule_at(at, move |w: &mut World, s| {
+                w.call_client(s, id, ClientCall::Timer);
+            });
+        }
+    }
+
+    /// Entry point for client I/O.
+    fn submit_request(&mut self, s: &mut Scheduler<World>, client: ClientId, req: IoRequest) {
+        let popped = self.tb.devices[req.dev.0].free_cids.pop();
+        match popped {
+            Some(cid) => self.do_submit(s, client, req, Cid(cid)),
+            None => self.tb.devices[req.dev.0].waiting.push_back((client, req)),
+        }
+    }
+
+    fn do_submit(&mut self, s: &mut Scheduler<World>, client: ClientId, req: IoRequest, cid: Cid) {
+        let now = s.now();
+        let (prp, bytes) = if req.op == IoOp::Flush {
+            (
+                PrpPair {
+                    prp1: PciAddr::NULL,
+                    prp2: PciAddr::NULL,
+                    len: 0,
+                },
+                0,
+            )
+        } else {
+            let prp = self.tb.buffers[req.buf.0];
+            let bytes = req.blocks as u64 * 4096;
+            debug_assert!(bytes <= prp.len, "buffer too small for request");
+            (prp, bytes)
+        };
+        let dev = &mut self.tb.devices[req.dev.0];
+        let lba = match &dev.attachment {
+            Attachment::Mediated { lba_offset, .. } => Lba(req.lba.raw() + lba_offset),
+            _ => req.lba,
+        };
+        let opcode = match req.op {
+            IoOp::Read => IoOpcode::Read,
+            IoOp::Write => IoOpcode::Write,
+            IoOp::Flush => IoOpcode::Flush,
+        };
+        let sqe = Sqe::io(
+            opcode,
+            cid,
+            Nsid::new(1).expect("valid"),
+            lba,
+            req.blocks.max(1),
+            prp.prp1,
+            prp.prp2,
+        );
+        dev.sq
+            .push(&mut self.tb.host_mem, &sqe)
+            .expect("ring sized above queue depth");
+        dev.pending.insert(
+            cid.0,
+            PendingHost {
+                client,
+                tag: req.tag,
+                submitted: now,
+                bytes,
+                is_write: req.op.is_write(),
+            },
+        );
+        let mut delay = self.tb.kernel.submit_cost;
+        if matches!(dev.attachment, Attachment::Mediated { .. }) {
+            delay += VIRTIO_KICK;
+        }
+        let dev_id = req.dev;
+        s.schedule_at(now + delay, move |w: &mut World, s| {
+            w.ring_doorbell(s, dev_id);
+        });
+    }
+
+    /// The doorbell lands at the scheme.
+    fn ring_doorbell(&mut self, s: &mut Scheduler<World>, dev_id: DeviceId) {
+        let now = s.now();
+        let tail = self.tb.devices[dev_id.0].sq.tail() as u32;
+        enum Plan {
+            Direct { ssd: usize, qid: QueueId },
+            Bm { func: FunctionId, qid: QueueId },
+            Mediated,
+        }
+        let plan = match &self.tb.devices[dev_id.0].attachment {
+            Attachment::Direct { ssd, qid } => Plan::Direct {
+                ssd: *ssd,
+                qid: *qid,
+            },
+            Attachment::BmStoreFn { func, qid } => Plan::Bm {
+                func: *func,
+                qid: *qid,
+            },
+            Attachment::Mediated { .. } => Plan::Mediated,
+        };
+        match plan {
+            Plan::Direct { ssd, qid } => {
+                s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
+                    let completions =
+                        w.tb.ssds[ssd].ring_sq_doorbell(s.now(), qid, tail, &mut w.tb.host_mem);
+                    w.schedule_direct_completions(s, ssd, completions);
+                });
+            }
+            Plan::Bm { func, qid } => {
+                s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
+                    let SchemeState::BmStore { engine, .. } = &mut w.tb.scheme else {
+                        return;
+                    };
+                    let actions = engine.host_doorbell_write(
+                        s.now(),
+                        func,
+                        DoorbellLayout::sq_tail_offset(qid),
+                        tail,
+                        &mut w.tb.host_mem,
+                    );
+                    w.handle_engine_actions(s, actions);
+                });
+            }
+            Plan::Mediated => {
+                // The poller notices the kick and fetches everything new.
+                let mut sqes = Vec::new();
+                {
+                    let dev = &mut self.tb.devices[dev_id.0];
+                    let Attachment::Mediated { fetch_sq, .. } = &mut dev.attachment else {
+                        unreachable!("plan said mediated");
+                    };
+                    let _ = fetch_sq.doorbell_tail(tail);
+                    while let Ok(Some(sqe)) = fetch_sq.fetch(&mut self.tb.host_mem) {
+                        sqes.push(sqe);
+                    }
+                }
+                for sqe in sqes {
+                    let bytes = sqe.transfer_len(4096);
+                    let is_write = sqe.io_opcode() == Some(IoOpcode::Write);
+                    let ready = match &mut self.tb.scheme {
+                        SchemeState::Spdk { vhost } => {
+                            vhost.process_submission(now, bytes, is_write)
+                        }
+                        SchemeState::Arm { arm } => arm.process(now, bytes),
+                        _ => unreachable!("mediated attachment without mediator"),
+                    };
+                    s.schedule_at(ready, move |w: &mut World, s| {
+                        w.mediated_forward(s, dev_id, sqe);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Mediator data path: push the SQE into the SSD's ring and ring its
+    /// doorbell.
+    fn mediated_forward(&mut self, s: &mut Scheduler<World>, dev_id: DeviceId, sqe: Sqe) {
+        let now = s.now();
+        let (ssd, qid, tail) = {
+            let dev = &mut self.tb.devices[dev_id.0];
+            let Attachment::Mediated {
+                ssd, qid, ssd_sq, ..
+            } = &mut dev.attachment
+            else {
+                unreachable!("mediated_forward on non-mediated attachment");
+            };
+            ssd_sq
+                .push(&mut self.tb.host_mem, &sqe)
+                .expect("backend ring sized above queue depth");
+            (*ssd, *qid, ssd_sq.tail() as u32)
+        };
+        s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
+            let completions =
+                w.tb.ssds[ssd].ring_sq_doorbell(s.now(), qid, tail, &mut w.tb.host_mem);
+            w.schedule_direct_completions(s, ssd, completions);
+        });
+    }
+
+    fn schedule_direct_completions(
+        &mut self,
+        s: &mut Scheduler<World>,
+        ssd: usize,
+        completions: Vec<CompletedIo>,
+    ) {
+        for io in completions {
+            let at = io.at;
+            s.schedule_at(at, move |w: &mut World, s| {
+                w.complete_from_ssd(s, ssd, io);
+            });
+        }
+    }
+
+    /// An SSD finished a command on a directly-registered ring.
+    fn complete_from_ssd(&mut self, s: &mut Scheduler<World>, ssd: usize, io: CompletedIo) {
+        let now = s.now();
+        Ssd::deliver_read_payload(&io, &mut self.tb.host_mem);
+        let cqe = match self.tb.ssds[ssd].post_completion(&io, &mut self.tb.host_mem) {
+            Ok(cqe) => cqe,
+            Err(_) => {
+                s.schedule_at(now + SimDuration::from_us(1), move |w: &mut World, s| {
+                    w.complete_from_ssd(s, ssd, io);
+                });
+                return;
+            }
+        };
+        let dev_id = *self
+            .tb
+            .direct_map
+            .get(&(ssd, io.qid.0))
+            .expect("completion for mapped queue");
+        let (cid, status) = (cqe.cid, cqe.status);
+        let is_mediated = matches!(
+            self.tb.devices[dev_id.0].attachment,
+            Attachment::Mediated { .. }
+        );
+        if is_mediated {
+            // The mediator consumes the backend CQE (polling) and acks
+            // the SSD CQ immediately.
+            {
+                let dev = &mut self.tb.devices[dev_id.0];
+                let Attachment::Mediated {
+                    backend_cq_head,
+                    backend_cq_entries,
+                    ssd_sq,
+                    ..
+                } = &mut dev.attachment
+                else {
+                    unreachable!("checked above");
+                };
+                *backend_cq_head = (*backend_cq_head + 1) % *backend_cq_entries;
+                // The mediator's producer view of the SSD SQ learns the
+                // consumption from the CQE.
+                ssd_sq.sync_head(cqe.sq_head);
+                let head = *backend_cq_head as u32;
+                let qid = io.qid;
+                self.tb.ssds[ssd].ring_cq_doorbell(qid, head);
+            }
+            let delay = match &self.tb.scheme {
+                SchemeState::Spdk { vhost } => vhost.completion_delay(),
+                SchemeState::Arm { .. } => SimDuration::from_us(2),
+                _ => SimDuration::ZERO,
+            };
+            s.schedule_at(now + delay, move |w: &mut World, s| {
+                w.mediated_guest_complete(s, dev_id, cid, status);
+            });
+        } else {
+            // Hardware MSI straight to the host/guest.
+            s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
+                w.host_notify(s, dev_id, cid, status);
+            });
+        }
+    }
+
+    /// The mediator writes the guest CQE and injects the interrupt.
+    fn mediated_guest_complete(
+        &mut self,
+        s: &mut Scheduler<World>,
+        dev_id: DeviceId,
+        cid: Cid,
+        status: Status,
+    ) {
+        let dev = &mut self.tb.devices[dev_id.0];
+        let Attachment::Mediated { guest_cq, .. } = &mut dev.attachment else {
+            unreachable!("mediated completion on direct attachment");
+        };
+        let cqe = Cqe {
+            result: 0,
+            sq_head: 0,
+            sq_id: QueueId(1),
+            cid,
+            phase: false,
+            status,
+        };
+        guest_cq
+            .post(&mut self.tb.host_mem, cqe)
+            .expect("guest CQ sized above queue depth");
+        self.host_notify(s, dev_id, cid, status);
+    }
+
+    /// Interrupt arrives at the host/guest: consume the CQE, pay the
+    /// completion-side stack costs, deliver to the client.
+    fn host_notify(
+        &mut self,
+        s: &mut Scheduler<World>,
+        dev_id: DeviceId,
+        cid: Cid,
+        status: Status,
+    ) {
+        let now = s.now();
+        enum Ack {
+            Ssd(usize, QueueId),
+            GuestCq,
+            BmCq(FunctionId, QueueId),
+        }
+        let (cid, status, head, ack) = {
+            let dev = &mut self.tb.devices[dev_id.0];
+            let polled = dev.cq.poll(&mut self.tb.host_mem);
+            let (cid, status) = polled.map(|c| (c.cid, c.status)).unwrap_or((cid, status));
+            let head = dev.cq.head() as u32;
+            let ack = match &dev.attachment {
+                Attachment::Direct { ssd, qid } => Ack::Ssd(*ssd, *qid),
+                Attachment::Mediated { .. } => Ack::GuestCq,
+                Attachment::BmStoreFn { func, qid } => Ack::BmCq(*func, *qid),
+            };
+            (cid, status, head, ack)
+        };
+        match ack {
+            Ack::Ssd(ssd, qid) => self.tb.ssds[ssd].ring_cq_doorbell(qid, head),
+            Ack::GuestCq => {
+                let dev = &mut self.tb.devices[dev_id.0];
+                if let Attachment::Mediated { guest_cq, .. } = &mut dev.attachment {
+                    let _ = guest_cq.doorbell_head(head);
+                }
+            }
+            Ack::BmCq(func, qid) => {
+                if let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme {
+                    let _ = engine.host_doorbell_write(
+                        now,
+                        func,
+                        DoorbellLayout::cq_head_offset(qid),
+                        head,
+                        &mut self.tb.host_mem,
+                    );
+                }
+            }
+        }
+        // Completion-side stack latency.
+        let dev = &mut self.tb.devices[dev_id.0];
+        let is_write = dev.pending.get(&cid.0).map(|p| p.is_write).unwrap_or(false);
+        let deliver_at = match &mut dev.vm {
+            Some(vm) => {
+                let mut cost = vm.costs.guest_complete;
+                if is_write {
+                    cost += vm.costs.guest_write_complete_extra;
+                }
+                let start = now + vm.costs.interrupt_delivery;
+                vm.irq_cpu.occupy(start, cost) + self.tb.kernel.extra_latency
+            }
+            None => {
+                let t = dev.softirq.occupy(now, self.tb.kernel.softirq_per_io);
+                t + self.tb.kernel.complete_cost + self.tb.kernel.extra_latency
+            }
+        };
+        s.schedule_at(deliver_at, move |w: &mut World, s| {
+            w.deliver_to_client(s, dev_id, cid, status);
+        });
+    }
+
+    fn deliver_to_client(
+        &mut self,
+        s: &mut Scheduler<World>,
+        dev_id: DeviceId,
+        cid: Cid,
+        status: Status,
+    ) {
+        let now = s.now();
+        let Some(pending) = self.tb.devices[dev_id.0].pending.remove(&cid.0) else {
+            return; // duplicate/late notify (defensive)
+        };
+        {
+            let dev = &mut self.tb.devices[dev_id.0];
+            dev.free_cids.push(cid.0);
+            // The device consumed one SQE for this completion; retire
+            // the slot in the host's ring view.
+            dev.sq.retire();
+        }
+        let completed = if self.tb.cfg.apply_plug_factor {
+            let real = now.saturating_since(pending.submitted);
+            pending.submitted
+                + SimDuration::from_nanos(
+                    (real.as_nanos() as f64 * self.tb.kernel.plug_factor) as u64,
+                )
+        } else {
+            now
+        };
+        let completion = Completion {
+            tag: pending.tag,
+            dev: dev_id,
+            submitted: pending.submitted,
+            completed,
+            status,
+            bytes: pending.bytes,
+            is_write: pending.is_write,
+        };
+        // Refill from the waiting queue before calling the client, so a
+        // full ring drains fairly.
+        if let Some((client, req)) = self.tb.devices[dev_id.0].waiting.pop_front() {
+            if let Some(cid) = self.tb.devices[dev_id.0].free_cids.pop() {
+                self.do_submit(s, client, req, Cid(cid));
+            }
+        }
+        let client = pending.client;
+        self.call_client(s, client, ClientCall::Completion(completion));
+    }
+
+    /// Applies engine actions as events.
+    pub(crate) fn handle_engine_actions(
+        &mut self,
+        s: &mut Scheduler<World>,
+        actions: Vec<EngineAction>,
+    ) {
+        for action in actions {
+            match action {
+                EngineAction::BackendDoorbell { ssd, tail, at } => {
+                    s.schedule_at(at, move |w: &mut World, s| {
+                        let SchemeState::BmStore { engine, .. } = &mut w.tb.scheme else {
+                            return;
+                        };
+                        let mut router = engine.dma_router(&mut w.tb.host_mem);
+                        let completions = w.tb.ssds[ssd.0 as usize].ring_sq_doorbell(
+                            s.now(),
+                            QueueId(1),
+                            tail,
+                            &mut router,
+                        );
+                        for io in completions {
+                            let at = io.at;
+                            s.schedule_at(at, move |w: &mut World, s| {
+                                w.bm_backend_complete(s, ssd, io);
+                            });
+                        }
+                    });
+                }
+                EngineAction::HostCompletion {
+                    func,
+                    qid,
+                    cid,
+                    status,
+                    at,
+                } => {
+                    s.schedule_at(at, move |w: &mut World, s| {
+                        w.bm_host_completion(s, func, qid, cid, status);
+                    });
+                }
+                EngineAction::QosWakeup { at } => {
+                    s.schedule_at(at, move |w: &mut World, s| {
+                        let SchemeState::BmStore { engine, .. } = &mut w.tb.scheme else {
+                            return;
+                        };
+                        let actions = engine.qos_wakeup(s.now(), &mut w.tb.host_mem);
+                        w.handle_engine_actions(s, actions);
+                    });
+                }
+            }
+        }
+    }
+
+    fn bm_host_completion(
+        &mut self,
+        s: &mut Scheduler<World>,
+        func: FunctionId,
+        qid: QueueId,
+        cid: Cid,
+        status: Status,
+    ) {
+        let now = s.now();
+        let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
+            return;
+        };
+        if !engine.deliver_host_completion(func, qid, cid, status, &mut self.tb.host_mem) {
+            // Host CQ full: retry after the host consumes.
+            s.schedule_at(now + SimDuration::from_us(2), move |w: &mut World, s| {
+                w.bm_host_completion(s, func, qid, cid, status);
+            });
+            return;
+        }
+        let interrupt = engine.timing().interrupt;
+        let dev_id = self
+            .tb
+            .devices
+            .iter()
+            .position(|d| {
+                matches!(d.attachment, Attachment::BmStoreFn { func: f, qid: q }
+                    if f == func && q == qid)
+            })
+            .map(DeviceId)
+            .expect("device for function");
+        s.schedule_at(now + interrupt, move |w: &mut World, s| {
+            w.host_notify(s, dev_id, cid, status);
+        });
+    }
+
+    /// SSD behind the engine finished a command.
+    fn bm_backend_complete(&mut self, s: &mut Scheduler<World>, ssd: SsdId, io: CompletedIo) {
+        let now = s.now();
+        {
+            let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
+                return;
+            };
+            let mut router = engine.dma_router(&mut self.tb.host_mem);
+            Ssd::deliver_read_payload(&io, &mut router);
+            let _ = self.tb.ssds[ssd.0 as usize].post_completion(&io, &mut router);
+        }
+        let (actions, cq_head) = {
+            let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
+                return;
+            };
+            engine.on_backend_completion(now, ssd, &mut self.tb.host_mem)
+        };
+        self.tb.ssds[ssd.0 as usize].ring_cq_doorbell(QueueId(1), cq_head);
+        self.handle_engine_actions(s, actions);
+    }
+
+    /// Sends one management command through the full MCTP → controller
+    /// path and applies the resulting actions.
+    fn do_management(&mut self, s: &mut Scheduler<World>, cmd: BmsCommand) {
+        let now = s.now();
+        self.next_mgmt_tag = (self.next_mgmt_tag + 1) % 8;
+        let tag = self.next_mgmt_tag;
+        let actions = {
+            let SchemeState::BmStore { engine, controller } = &mut self.tb.scheme else {
+                return;
+            };
+            let mut driver = AdminDriver {
+                ssds: &mut self.tb.ssds,
+                now,
+            };
+            let packets = request_packets(Eid(9), controller.eid(), tag, &cmd);
+            let mut actions = Vec::new();
+            for pkt in packets {
+                actions.extend(controller.on_packet(
+                    now,
+                    pkt,
+                    engine,
+                    &mut driver,
+                    &mut self.tb.host_mem,
+                ));
+            }
+            actions
+        };
+        self.handle_controller_actions(s, actions);
+    }
+
+    fn handle_controller_actions(
+        &mut self,
+        s: &mut Scheduler<World>,
+        actions: Vec<ControllerAction>,
+    ) {
+        for action in actions {
+            match action {
+                ControllerAction::Respond { packets } => {
+                    // Reassemble on the console side and log the response.
+                    let mut asm = bm_pcie::mctp::Assembler::new();
+                    for p in packets {
+                        if let Ok(Some(msg)) = asm.push(p) {
+                            if let Ok(resp) = MiResponse::from_bytes(&msg.body) {
+                                self.mgmt_responses.borrow_mut().push((s.now(), resp));
+                            }
+                        }
+                    }
+                }
+                ControllerAction::FinishUpgrade { ssd, at } => {
+                    s.schedule_at(at, move |w: &mut World, s| {
+                        let engine_actions = {
+                            let SchemeState::BmStore { engine, controller } = &mut w.tb.scheme
+                            else {
+                                return;
+                            };
+                            controller.finish_upgrade(s.now(), ssd, engine, &mut w.tb.host_mem)
+                        };
+                        w.handle_engine_actions(s, engine_actions);
+                    });
+                }
+                ControllerAction::Engine(a) => self.handle_engine_actions(s, vec![a]),
+            }
+        }
+    }
+
+    /// Physically replaces SSD `idx` with a factory-fresh device and
+    /// re-attaches the engine's back-end rings (the operator action of
+    /// a hot-plug, between prepare and complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics if not running the BM-Store scheme.
+    pub fn swap_ssd_hardware(&mut self, idx: usize) {
+        let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
+            panic!("hot-plug swap requires the BM-Store scheme");
+        };
+        let cfg = SsdConfig::p4510_2tb(SsdId(idx as u8))
+            .with_profile(self.tb.cfg.ssd_profile.clone())
+            .with_data_mode(self.tb.cfg.data_mode);
+        let mut fresh = Ssd::new(cfg);
+        let (sq, cq) = engine.ssd_rings(SsdId(idx as u8));
+        fresh.attach_io_queues(sq, cq);
+        self.tb.ssds[idx] = fresh;
+    }
+}
+
+/// The controller's private admin channel to the physical SSDs.
+struct AdminDriver<'a> {
+    ssds: &'a mut Vec<Ssd>,
+    now: SimTime,
+}
+
+impl BackendAdmin for AdminDriver<'_> {
+    fn firmware_download(&mut self, ssd: SsdId, image: &[u8]) -> Result<(), Status> {
+        let dev = self
+            .ssds
+            .get_mut(ssd.0 as usize)
+            .ok_or(Status::InternalError)?;
+        let mut offset = 0u64;
+        for chunk in image.chunks(4096) {
+            dev.mgmt_firmware_download(offset, chunk)?;
+            offset += chunk.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn firmware_commit_activate(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        slot: u8,
+    ) -> Result<SimDuration, Status> {
+        let _ = now;
+        let dev = self
+            .ssds
+            .get_mut(ssd.0 as usize)
+            .ok_or(Status::InternalError)?;
+        match dev.mgmt_firmware_commit(self.now, slot as usize, CommitAction::ActivateNow)? {
+            Some(dur) => Ok(dur),
+            None => Err(Status::InvalidFirmwareImage),
+        }
+    }
+
+    fn firmware_version(&mut self, ssd: SsdId) -> String {
+        self.ssds
+            .get(ssd.0 as usize)
+            .map(|d| d.firmware().running().0.clone())
+            .unwrap_or_default()
+    }
+
+    fn health(&mut self, ssd: SsdId) -> HealthStatus {
+        let reads = self
+            .ssds
+            .get(ssd.0 as usize)
+            .map(|d| d.perf().reads())
+            .unwrap_or(0);
+        HealthStatus {
+            temperature_k: 305 + (reads % 5) as u16,
+            percent_used: 1,
+            available_spare: 100,
+            critical_warning: 0,
+        }
+    }
+}

@@ -1,0 +1,60 @@
+use bm_sim::SimDuration;
+use bm_testbed::{DeviceSpec, SchemeKind, TestbedConfig};
+use bm_workloads::kvstore::run_ycsb;
+use bm_workloads::kvstore::LsmConfig;
+use bm_workloads::oltp::{run_oltp, OltpSpec};
+use bm_workloads::ycsb::YcsbSpec;
+
+fn vm_cfg(scheme: SchemeKind) -> TestbedConfig {
+    TestbedConfig::single_vm(scheme)
+}
+
+fn main() {
+    println!("== TPC-C (32 threads) ==");
+    for (name, scheme) in [
+        ("vfio", SchemeKind::Vfio),
+        ("bmstore", SchemeKind::BmStore { in_vm: true }),
+        ("spdk", SchemeKind::SpdkVhost { cores: 1 }),
+    ] {
+        let (stats, _) = run_oltp(vm_cfg(scheme), OltpSpec::tpcc());
+        println!(
+            "{:8} tps {:>8.0}  avg txn lat {:>7.0} us",
+            name,
+            stats.tps(SimDuration::from_ms(900)),
+            stats.latency.mean().as_micros_f64()
+        );
+    }
+    println!("== Sysbench (16 threads) ==");
+    for (name, scheme) in [
+        ("vfio", SchemeKind::Vfio),
+        ("bmstore", SchemeKind::BmStore { in_vm: true }),
+        ("spdk", SchemeKind::SpdkVhost { cores: 1 }),
+    ] {
+        let (stats, _) = run_oltp(vm_cfg(scheme), OltpSpec::sysbench());
+        println!(
+            "{:8} tps {:>8.0}  qps {:>9.0}  avg lat {:>7.0} us",
+            name,
+            stats.tps(SimDuration::from_ms(900)),
+            stats.queries as f64 / 0.9,
+            stats.latency.mean().as_micros_f64()
+        );
+    }
+    println!("== YCSB-A on LSM (16 threads) ==");
+    for (name, scheme) in [
+        ("vfio", SchemeKind::Vfio),
+        ("bmstore", SchemeKind::BmStore { in_vm: true }),
+        ("spdk", SchemeKind::SpdkVhost { cores: 1 }),
+    ] {
+        let mut cfg = vm_cfg(scheme);
+        cfg.devices = vec![DeviceSpec::vm_namespace()];
+        let (stats, _) = run_ycsb(cfg, YcsbSpec::paper_mixed(), LsmConfig::default());
+        println!(
+            "{:8} ops/s {:>8.0}  avg lat {:>6.0} us  flushes {}  bg GB {:.2}",
+            name,
+            stats.ops_per_sec(SimDuration::from_ms(900)),
+            stats.latency.mean().as_micros_f64(),
+            stats.flushes,
+            stats.background_bytes as f64 / 1e9
+        );
+    }
+}

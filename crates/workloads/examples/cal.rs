@@ -1,0 +1,41 @@
+use bm_testbed::{SchemeKind, TestbedConfig};
+use bm_workloads::fio::{aggregate, run_fio, FioSpec};
+
+type ConfigFn = fn() -> TestbedConfig;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let schemes: Vec<(&str, ConfigFn)> = vec![
+        ("native", || TestbedConfig::native(1)),
+        ("bmstore", || TestbedConfig::bm_store_bare_metal(1)),
+        ("vfio-vm", || TestbedConfig::single_vm(SchemeKind::Vfio)),
+        ("bm-vm", || {
+            TestbedConfig::single_vm(SchemeKind::BmStore { in_vm: true })
+        }),
+        ("spdk-vm", || {
+            TestbedConfig::single_vm(SchemeKind::SpdkVhost { cores: 1 })
+        }),
+    ];
+    println!(
+        "{:10} {:12} {:>10} {:>10} {:>10}",
+        "scheme", "case", "IOPS", "BW MB/s", "lat us"
+    );
+    for (name, mk) in schemes {
+        for (case, spec) in FioSpec::table_iv() {
+            let spec = spec.scaled(scale);
+            let (results, _world) = run_fio(mk(), spec);
+            let agg = aggregate(&results);
+            println!(
+                "{:10} {:12} {:>10.0} {:>10.0} {:>10.1}",
+                name,
+                case,
+                agg.iops,
+                agg.bandwidth_mbps,
+                agg.avg_latency.as_micros_f64()
+            );
+        }
+    }
+}

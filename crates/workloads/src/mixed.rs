@@ -1,0 +1,86 @@
+//! The §V-E mixed multi-VM scenario (Fig. 14).
+//!
+//! Several VMs share the storage back-end: half run Sysbench-over-MySQL
+//! (the [`oltp`](crate::oltp) client), half run YCSB-over-RocksDB (the
+//! [`kvstore`](crate::kvstore) client), each on its own device. The
+//! harness compares, per scheme, RocksDB transaction throughput and
+//! MySQL average latency — the two panels of Fig. 14.
+
+use crate::kvstore::{KvClient, KvStats, LsmConfig, SharedKvStats};
+use crate::oltp::{OltpClient, OltpSpec, OltpStats, SharedOltpStats};
+use crate::ycsb::YcsbSpec;
+use bm_testbed::{DeviceId, Testbed, TestbedConfig, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Result of one mixed run.
+#[derive(Debug)]
+pub struct MixedResult {
+    /// Per-OLTP-VM statistics.
+    pub oltp: Vec<OltpStats>,
+    /// Per-KV-VM statistics.
+    pub kv: Vec<KvStats>,
+}
+
+/// Runs `oltp_vms` Sysbench VMs and `kv_vms` YCSB VMs on a testbed
+/// built from `cfg` (which must define `oltp_vms + kv_vms` devices:
+/// OLTP VMs take the first devices, KV VMs the rest).
+///
+/// # Panics
+///
+/// Panics if the config has too few devices.
+pub fn run_mixed(
+    cfg: TestbedConfig,
+    oltp_vms: usize,
+    kv_vms: usize,
+    oltp_spec: OltpSpec,
+    ycsb_spec: YcsbSpec,
+) -> (MixedResult, World) {
+    assert!(
+        cfg.devices.len() >= oltp_vms + kv_vms,
+        "config must define one device per VM"
+    );
+    let mut tb = Testbed::new(cfg);
+    let mut oltp_sinks: Vec<SharedOltpStats> = Vec::new();
+    let mut kv_sinks: Vec<SharedKvStats> = Vec::new();
+    let mut clients: Vec<Box<dyn bm_testbed::Client>> = Vec::new();
+    for i in 0..oltp_vms {
+        let stats: SharedOltpStats = Rc::new(RefCell::new(OltpStats::default()));
+        oltp_sinks.push(Rc::clone(&stats));
+        clients.push(Box::new(OltpClient::new(
+            &mut tb,
+            DeviceId(i),
+            oltp_spec.clone(),
+            0x3100 + i as u64,
+            stats,
+        )));
+    }
+    for i in 0..kv_vms {
+        let stats: SharedKvStats = Rc::new(RefCell::new(KvStats::default()));
+        kv_sinks.push(Rc::clone(&stats));
+        clients.push(Box::new(KvClient::new(
+            &mut tb,
+            DeviceId(oltp_vms + i),
+            ycsb_spec,
+            LsmConfig::default(),
+            0x4200 + i as u64,
+            stats,
+        )));
+    }
+    let mut world = World::new(tb);
+    for c in clients {
+        world.add_client(c);
+    }
+    let world = world.run(None);
+    let result = MixedResult {
+        oltp: oltp_sinks
+            .into_iter()
+            .map(|s| std::mem::take(&mut *s.borrow_mut()))
+            .collect(),
+        kv: kv_sinks
+            .into_iter()
+            .map(|s| std::mem::take(&mut *s.borrow_mut()))
+            .collect(),
+    };
+    (result, world)
+}

@@ -1,0 +1,165 @@
+//! YCSB workload mixes.
+//!
+//! The standard core workloads (A, B, C, F — E is scan-based and out of
+//! scope for a block-level reproduction) as operation-mix generators
+//! over a Zipfian key popularity distribution.
+
+use bm_sim::rng::ZipfTable;
+use bm_sim::{SimDuration, SimRng};
+
+/// One YCSB operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point read.
+    Read,
+    /// Update an existing record.
+    Update,
+    /// Insert a new record.
+    Insert,
+    /// Read-modify-write.
+    ReadModifyWrite,
+}
+
+/// The standard core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbWorkload {
+    /// A: 50 % read / 50 % update — "update heavy".
+    A,
+    /// B: 95 % read / 5 % update — "read mostly".
+    B,
+    /// C: 100 % read.
+    C,
+    /// D: 95 % read / 5 % insert — "read latest".
+    D,
+    /// F: 50 % read / 50 % read-modify-write.
+    F,
+}
+
+impl YcsbWorkload {
+    /// Samples one operation from the mix.
+    pub fn sample(self, rng: &mut SimRng) -> YcsbOp {
+        let u = rng.unit();
+        match self {
+            YcsbWorkload::A => {
+                if u < 0.5 {
+                    YcsbOp::Read
+                } else {
+                    YcsbOp::Update
+                }
+            }
+            YcsbWorkload::B => {
+                if u < 0.95 {
+                    YcsbOp::Read
+                } else {
+                    YcsbOp::Update
+                }
+            }
+            YcsbWorkload::C => YcsbOp::Read,
+            YcsbWorkload::D => {
+                if u < 0.95 {
+                    YcsbOp::Read
+                } else {
+                    YcsbOp::Insert
+                }
+            }
+            YcsbWorkload::F => {
+                if u < 0.5 {
+                    YcsbOp::Read
+                } else {
+                    YcsbOp::ReadModifyWrite
+                }
+            }
+        }
+    }
+}
+
+/// A YCSB run specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YcsbSpec {
+    /// Which core workload.
+    pub workload: YcsbWorkload,
+    /// Client threads (closed loop).
+    pub threads: u32,
+    /// Warm-up excluded from statistics.
+    pub ramp: SimDuration,
+    /// Measured window.
+    pub runtime: SimDuration,
+}
+
+impl YcsbSpec {
+    /// The paper's mixed-workload configuration (§V-E): YCSB-A on
+    /// RocksDB with a moderate thread count.
+    pub fn paper_mixed() -> YcsbSpec {
+        YcsbSpec {
+            workload: YcsbWorkload::A,
+            threads: 16,
+            ramp: SimDuration::from_ms(100),
+            runtime: SimDuration::from_ms(900),
+        }
+    }
+
+    /// Scales the measurement windows.
+    pub fn scaled(mut self, factor: f64) -> YcsbSpec {
+        self.ramp = SimDuration::from_secs_f64(self.ramp.as_secs_f64() * factor);
+        self.runtime = SimDuration::from_secs_f64(self.runtime.as_secs_f64() * factor);
+        self
+    }
+
+    /// Samples the next operation.
+    pub fn next_op(&self, rng: &mut SimRng) -> YcsbOp {
+        self.workload.sample(rng)
+    }
+}
+
+/// Zipfian key chooser (kept separate so the key space can be large
+/// without rebuilding the table per client).
+#[derive(Debug)]
+pub struct KeyChooser {
+    table: ZipfTable,
+}
+
+impl KeyChooser {
+    /// Builds a chooser over `records` keys with the YCSB default skew.
+    pub fn new(records: usize) -> KeyChooser {
+        KeyChooser {
+            table: ZipfTable::new(records, 0.99),
+        }
+    }
+
+    /// Picks a key index.
+    pub fn pick(&self, rng: &mut SimRng) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_fraction(w: YcsbWorkload, op: YcsbOp, n: usize) -> f64 {
+        let mut rng = SimRng::seed_from(7);
+        let hits = (0..n).filter(|_| w.sample(&mut rng) == op).count();
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        assert!((mix_fraction(YcsbWorkload::A, YcsbOp::Read, 20_000) - 0.5).abs() < 0.02);
+        assert!((mix_fraction(YcsbWorkload::B, YcsbOp::Read, 20_000) - 0.95).abs() < 0.01);
+        assert_eq!(mix_fraction(YcsbWorkload::C, YcsbOp::Read, 1_000), 1.0);
+        assert!((mix_fraction(YcsbWorkload::D, YcsbOp::Insert, 20_000) - 0.05).abs() < 0.01);
+        assert!(
+            (mix_fraction(YcsbWorkload::F, YcsbOp::ReadModifyWrite, 20_000) - 0.5).abs() < 0.02
+        );
+    }
+
+    #[test]
+    fn key_chooser_is_skewed() {
+        let chooser = KeyChooser::new(100_000);
+        let mut rng = SimRng::seed_from(3);
+        let low = (0..10_000)
+            .filter(|_| chooser.pick(&mut rng) < 1000)
+            .count();
+        assert!(low > 2_000, "zipf skew too weak: {low}");
+    }
+}

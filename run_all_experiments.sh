@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper (see DESIGN.md).
+# Pass --quick for a fast pass at reduced simulated windows.
+set -e
+for bin in fig01_spdk_cores table02_fpga_resources fig08_baremetal \
+           table06_os_matrix fig09_vm_perf fig10_scalability fig11_multivm \
+           fig12_fairness fig13_mysql fig14_mixed table09_hotupgrade \
+           tco_analysis ablation_zerocopy ablation_arm_offload; do
+    cargo run --release -q -p bm-bench --bin "$bin" -- "$@"
+done

@@ -1,0 +1,115 @@
+//! Calibration guard: the simulated native disk and BM-Store must stay
+//! within tolerance of the paper's Table V / Fig. 8 anchors, or every
+//! downstream comparison drifts. Runs at reduced window scale.
+
+use bmstore::sim::SimDuration;
+use bmstore::testbed::TestbedConfig;
+use bmstore::workloads::fio::{aggregate, run_fio, FioSpec};
+
+fn lat_us(cfg: TestbedConfig, spec: FioSpec) -> f64 {
+    let (r, _) = run_fio(cfg, spec.scaled(0.5));
+    aggregate(&r).avg_latency.as_micros_f64()
+}
+
+fn assert_close(got: f64, want: f64, tol: f64, what: &str) {
+    let err = (got - want).abs() / want;
+    assert!(
+        err <= tol,
+        "{what}: got {got:.1}, paper {want:.1} ({:.1}% off, tol {:.0}%)",
+        err * 100.0,
+        tol * 100.0
+    );
+}
+
+#[test]
+fn native_rand_read_qd1_matches_table_v() {
+    assert_close(
+        lat_us(TestbedConfig::native(1), FioSpec::rand_r_1()),
+        77.2,
+        0.05,
+        "native rand-r-1",
+    );
+}
+
+#[test]
+fn native_rand_read_qd128_matches_table_v() {
+    assert_close(
+        lat_us(TestbedConfig::native(1), FioSpec::rand_r_128()),
+        786.7,
+        0.05,
+        "native rand-r-128",
+    );
+}
+
+#[test]
+fn native_rand_write_qd16_matches_table_v() {
+    assert_close(
+        lat_us(TestbedConfig::native(1), FioSpec::rand_w_16()),
+        179.8,
+        0.05,
+        "native rand-w-16",
+    );
+}
+
+#[test]
+fn native_seq_read_bandwidth_matches_spec() {
+    let (r, _) = run_fio(TestbedConfig::native(1), FioSpec::seq_r_256().scaled(0.5));
+    let bw = aggregate(&r).bandwidth_mbps;
+    assert!((3100.0..3350.0).contains(&bw), "seq read BW {bw} MB/s");
+}
+
+#[test]
+fn native_rand_write_qd1_is_drain_bound() {
+    // Looser tolerance: QD1 write latency is the paper's noisiest cell.
+    assert_close(
+        lat_us(TestbedConfig::native(1), FioSpec::rand_w_1()),
+        11.6,
+        0.15,
+        "native rand-w-1",
+    );
+}
+
+#[test]
+fn bm_store_adds_about_three_microseconds() {
+    // Table V: BM-Store's extra latency is ~3 µs, constant.
+    let native = lat_us(TestbedConfig::native(1), FioSpec::rand_r_1());
+    let bm = lat_us(TestbedConfig::bm_store_bare_metal(1), FioSpec::rand_r_1());
+    let extra = bm - native;
+    assert!((2.0..4.5).contains(&extra), "extra latency {extra:.2} us");
+}
+
+#[test]
+fn bm_store_throughput_within_four_percent_of_native() {
+    // Abstract: "average 4.0% throughput overhead to native disks";
+    // per-case: 96.2%..101.4% except rand-w-1.
+    for (name, spec) in FioSpec::table_iv() {
+        if name == "rand-w-1" {
+            continue;
+        }
+        let (n, _) = run_fio(TestbedConfig::native(1), spec.scaled(0.5));
+        let (b, _) = run_fio(TestbedConfig::bm_store_bare_metal(1), spec.scaled(0.5));
+        let ratio = aggregate(&b).iops / aggregate(&n).iops;
+        assert!(
+            ratio > 0.955,
+            "{name}: BM-Store at {:.1}% of native",
+            ratio * 100.0
+        );
+    }
+    let _ = SimDuration::ZERO;
+}
+
+#[test]
+fn bm_store_rand_w_1_ratio_matches_paper_shape() {
+    // The one case the paper flags: 82.5% of native on rand-w-1.
+    let (n, _) = run_fio(TestbedConfig::native(1), FioSpec::rand_w_1().scaled(0.5));
+    let (b, _) = run_fio(
+        TestbedConfig::bm_store_bare_metal(1),
+        FioSpec::rand_w_1().scaled(0.5),
+    );
+    let ratio = aggregate(&b).iops / aggregate(&n).iops;
+    assert!(
+        (0.75..0.92).contains(&ratio),
+        "rand-w-1 ratio {:.3} (paper: 0.825)",
+        ratio
+    );
+}

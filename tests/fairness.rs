@@ -1,0 +1,82 @@
+//! Isolation and fairness across tenants sharing BM-Store (§V-D).
+
+use bmstore::sim::stats::IoStats;
+use bmstore::sim::SimDuration;
+use bmstore::testbed::{DeviceId, Testbed, TestbedConfig, World};
+use bmstore::workloads::fio::{FioJob, FioSpec, SharedStats};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_vms(vms: usize, spec: FioSpec) -> Vec<IoStats> {
+    let cfg = TestbedConfig::multi_vm_bm_store(vms);
+    let mut tb = Testbed::new(cfg);
+    let mut sinks: Vec<SharedStats> = Vec::new();
+    let mut jobs = Vec::new();
+    for vm in 0..vms {
+        let stats: SharedStats = Rc::new(RefCell::new(IoStats::new()));
+        sinks.push(Rc::clone(&stats));
+        for j in 0..spec.numjobs {
+            jobs.push(FioJob::new(
+                &mut tb,
+                DeviceId(vm),
+                spec,
+                j,
+                0xFA + vm as u64,
+                Rc::clone(&stats),
+                None,
+            ));
+        }
+    }
+    let mut world = World::new(tb);
+    for j in jobs {
+        world.add_client(Box::new(j));
+    }
+    let _ = world.run(None);
+    sinks
+        .into_iter()
+        .map(|s| std::mem::take(&mut *s.borrow_mut()))
+        .collect()
+}
+
+#[test]
+fn four_vms_share_bandwidth_equally() {
+    let spec = FioSpec::rand_r_128().scaled(0.5);
+    let stats = run_vms(4, spec);
+    let iops: Vec<f64> = stats
+        .iter()
+        .map(|s| s.iops(SimDuration::from_ms(200)))
+        .collect();
+    let min = iops.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = iops.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 1.05, "per-VM IOPS spread too wide: {iops:?}");
+}
+
+#[test]
+fn four_vms_tail_latencies_are_close() {
+    let spec = FioSpec::rand_w_16().scaled(0.5);
+    let stats = run_vms(4, spec);
+    let p99: Vec<f64> = stats
+        .iter()
+        .map(|s| s.latency().percentile(0.99).as_micros_f64())
+        .collect();
+    let min = p99.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = p99.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 1.10, "per-VM p99 spread too wide: {p99:?}");
+}
+
+#[test]
+fn sixteen_vms_saturate_four_ssds() {
+    // Fig. 11's peak: total bandwidth reaches the four drives' ceiling.
+    let spec = FioSpec {
+        numjobs: 1,
+        iodepth: 8,
+        ..FioSpec::seq_r_256().scaled(0.25)
+    };
+    let stats = run_vms(16, spec);
+    let window = spec.runtime;
+    let total: f64 = stats.iter().map(|s| s.bandwidth_mbps(window)).sum();
+    assert!(
+        (11_500.0..13_200.0).contains(&total),
+        "total {total:.0} MB/s (paper: 12400, model ceiling 12920)"
+    );
+}
