@@ -21,6 +21,7 @@ use bm_nvme::types::{Cid, Nsid, QueueId};
 use bm_nvme::{Cqe, Namespace, Status};
 use bm_pcie::{DmaContext, PciAddr};
 use bm_sim::{SimDuration, SimRng, SimTime};
+use bytes::Bytes;
 use std::fmt;
 
 /// Identifies one physical SSD behind the card.
@@ -105,8 +106,10 @@ pub struct CompletedIo {
     /// Whether the command was a host→device write.
     pub is_write: bool,
     /// For reads in [`DataMode::Full`]: `(address, data)` pairs the
-    /// device DMAs toward the host at completion time.
-    pub read_payload: Option<Vec<(PciAddr, Vec<u8>)>>,
+    /// device DMAs toward the host at completion time. The payloads are
+    /// refcounted views into the block store's data — carrying a
+    /// completion around does not copy it.
+    pub read_payload: Option<Vec<(PciAddr, Bytes)>>,
     /// Set when a firmware commit activated new firmware: how long the
     /// device stays frozen.
     pub fw_activation: Option<SimDuration>,
@@ -398,17 +401,24 @@ impl Ssd {
                         Ok(s) => s,
                         Err(_) => return self.fail(now, qid, sqe.cid, Status::InvalidField),
                     };
-                    let mut data = Vec::with_capacity(bytes as usize);
-                    for i in 0..nblocks as u64 {
-                        data.extend_from_slice(&self.store.read_block(sqe.slba + i));
+                    if nblocks == 1 && segments.len() == 1 && segments[0].1 == bytes {
+                        // 4 KiB random read: hand the host a view of the
+                        // stored block, no copies at all.
+                        Some(vec![(segments[0].0, self.store.read_block(sqe.slba))])
+                    } else {
+                        let mut data = Vec::with_capacity(bytes as usize);
+                        for i in 0..nblocks as u64 {
+                            data.extend_from_slice(&self.store.read_block(sqe.slba + i));
+                        }
+                        let data = Bytes::from(data);
+                        let mut payload = Vec::with_capacity(segments.len());
+                        let mut cursor = 0usize;
+                        for (addr, len) in segments {
+                            payload.push((addr, data.slice(cursor..cursor + len as usize)));
+                            cursor += len as usize;
+                        }
+                        Some(payload)
                     }
-                    let mut payload = Vec::with_capacity(segments.len());
-                    let mut cursor = 0usize;
-                    for (addr, len) in segments {
-                        payload.push((addr, data[cursor..cursor + len as usize].to_vec()));
-                        cursor += len as usize;
-                    }
-                    Some(payload)
                 } else {
                     None
                 };

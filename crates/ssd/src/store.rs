@@ -11,6 +11,7 @@
 //!   flows (checksums remain reproducible) at O(1) memory.
 
 use bm_nvme::types::Lba;
+use bytes::Bytes;
 use std::collections::HashMap;
 
 /// Content store for one SSD's physical LBA space.
@@ -30,7 +31,10 @@ pub struct BlockStore {
     ssd_seed: u64,
     block_size: u64,
     capture: bool,
-    blocks: HashMap<u64, Box<[u8]>>,
+    /// Captured blocks are refcounted so reads hand out views, not
+    /// copies (readbacks on the hot path would otherwise clone 4 KiB
+    /// per block).
+    blocks: HashMap<u64, Bytes>,
 }
 
 impl BlockStore {
@@ -71,21 +75,21 @@ impl BlockStore {
     pub fn write_block(&mut self, lba: Lba, data: &[u8]) {
         assert_eq!(data.len() as u64, self.block_size, "partial block write");
         if self.capture {
-            self.blocks.insert(lba.raw(), data.into());
+            self.blocks.insert(lba.raw(), Bytes::copy_from_slice(data));
         }
     }
 
-    /// Reads one block: captured bytes if present, else the deterministic
-    /// pattern for this `(ssd, lba)`.
-    pub fn read_block(&self, lba: Lba) -> Vec<u8> {
+    /// Reads one block: captured bytes if present (a zero-copy view),
+    /// else the deterministic pattern for this `(ssd, lba)`.
+    pub fn read_block(&self, lba: Lba) -> Bytes {
         if let Some(data) = self.blocks.get(&lba.raw()) {
-            return data.to_vec();
+            return data.clone();
         }
         self.pattern_block(lba)
     }
 
     /// The pattern an unwritten block reads as.
-    pub fn pattern_block(&self, lba: Lba) -> Vec<u8> {
+    pub fn pattern_block(&self, lba: Lba) -> Bytes {
         let mut out = vec![0u8; self.block_size as usize];
         let mut state = self
             .ssd_seed
@@ -101,7 +105,7 @@ impl BlockStore {
             let n = chunk.len();
             chunk.copy_from_slice(&v[..n]);
         }
-        out
+        Bytes::from(out)
     }
 
     /// Number of captured blocks resident.

@@ -4,22 +4,111 @@
 //! offload), and back-end SSDs into one deterministic event-driven
 //! simulation, and exposes the [`Client`] trait workloads implement.
 //!
-//! # Examples
+//! ## Architecture: the scheme effects pipeline
+//!
+//! The crate is split along one seam:
+//!
+//! * [`schemes`] — each I/O scheme implements the [`schemes::Scheme`]
+//!   trait. A hook receives a pipeline event (a submission, a doorbell,
+//!   a backend completion) and returns typed [`schemes::Effect`]s; it
+//!   never touches the scheduler.
+//! * [`world`] — a generic interpreter. [`World`] drives clients,
+//!   dispatches pipeline stages into the scheme, and interprets the
+//!   returned effects (schedule a stage, ring a backend SSD, raise an
+//!   interrupt, charge the completion stack, deliver to the client,
+//!   trace). It contains no per-scheme branches after construction.
+//!
+//! Every command traverses the same five observable points — submit →
+//! translate → doorbell → backend → complete — reported to an optional
+//! [`schemes::PipelineObserver`] installed with [`World::set_observer`].
+//!
+//! ## Running a workload
 //!
 //! ```
+//! use bm_testbed::schemes::CountingObserver;
 //! use bm_testbed::{Testbed, TestbedConfig, World};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
 //!
 //! let tb = Testbed::new(TestbedConfig::native(1));
 //! assert_eq!(tb.device_count(), 1);
-//! let world = World::new(tb);
+//! let mut world = World::new(tb);
+//! let observer = Rc::new(RefCell::new(CountingObserver::default()));
+//! world.set_observer(observer.clone());
 //! let world = world.run(None); // no clients: returns immediately
 //! assert_eq!(world.tb.device_count(), 1);
 //! ```
+//!
+//! ## Worked example: adding a scheme
+//!
+//! Suppose you want to model a hypothetical "CXL window" scheme where
+//! the doorbell write itself carries the command to the device. The
+//! whole job is one module in `src/schemes/` plus two lines of wiring:
+//!
+//! 1. **Implement [`schemes::Scheme`]** in `src/schemes/cxl.rs`. Keep
+//!    per-device backend state (which SSD, which queue) in the struct;
+//!    the world owns everything else:
+//!
+//!    ```ignore
+//!    pub(crate) struct CxlScheme {
+//!        attach: Vec<(usize, QueueId)>,                 // per DeviceId
+//!        direct_map: HashMap<(usize, u16), DeviceId>,   // completions
+//!    }
+//!
+//!    impl Scheme for CxlScheme {
+//!        fn name(&self) -> &'static str { "cxl-window" }
+//!
+//!        // Doorbell → forward to the SSD in the same hop (no BUS_HOP:
+//!        // the window write is the transport).
+//!        fn on_doorbell(&mut self, now, dev, tail, _ctx) -> Vec<Effect> {
+//!            let (ssd, qid) = self.attach[dev.0];
+//!            vec![Effect::ForwardToSsd { at: now, ssd, qid, tail }]
+//!        }
+//!
+//!        // The interpreter hands back each SSD completion.
+//!        fn on_stage(&mut self, now, stage, ctx) -> Vec<Effect> {
+//!            let Stage::BackendComplete { ssd, io } = stage else { .. };
+//!            Ssd::deliver_read_payload(&io, ctx.host_mem);
+//!            let cqe = ctx.ssds[ssd].post_completion(&io, ctx.host_mem)?;
+//!            let dev = self.direct_map[&(ssd, io.qid.0)];
+//!            vec![
+//!                Effect::Trace { stage: PipelineStage::Backend, dev, cid: cqe.cid },
+//!                Effect::RaiseInterrupt { at: now, dev, cid: cqe.cid, status: cqe.status },
+//!            ]
+//!        }
+//!
+//!        fn ack_host_cq(&mut self, _now, dev, head, ctx) {
+//!            let (ssd, qid) = self.attach[dev.0];
+//!            ctx.ssds[ssd].ring_cq_doorbell(qid, head);
+//!        }
+//!    }
+//!
+//!    // Construction: allocate rings via ctx.alloc_rings, attach SSD
+//!    // queue views, push one `Device` per spec, return the boxed scheme.
+//!    pub(crate) fn build(ctx: &mut BuildCtx) -> Box<dyn Scheme> { .. }
+//!    ```
+//!
+//! 2. **Wire it up**: add `pub mod cxl;` to `src/schemes/mod.rs`, a
+//!    `SchemeKind` variant, and one match arm in `Testbed::new`. That
+//!    match is the only place in the crate that names the scheme.
+//!
+//! Latency modelling guidance: submit-side costs go in
+//! [`schemes::Scheme::submit`] (override the default to add e.g. a
+//! virtio kick), transport hops go in the `at` fields of the effects
+//! you emit, and completion-stack costs are charged uniformly by the
+//! interpreter (`Effect::ChargeCpu`), so schemes never duplicate them.
+//! The scheme-equivalence suite in `tests/scheme_equivalence.rs` will
+//! pick the new scheme up and check payload integrity and determinism
+//! against the others once it is added to its scheme list.
 
 pub mod config;
+pub mod schemes;
 pub mod types;
 pub mod world;
 
 pub use config::{DeviceSpec, SchemeKind, TestbedConfig};
+pub use schemes::{
+    CountingObserver, Effect, PipelineObserver, PipelineStage, Scheme, SchemeCtx, Stage,
+};
 pub use types::{BufferId, Client, ClientId, ClientOutput, Completion, DeviceId, IoOp, IoRequest};
 pub use world::{Testbed, World};

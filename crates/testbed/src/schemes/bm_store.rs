@@ -1,0 +1,236 @@
+//! BM-Store: the hardware BMS-Engine fronts virtual NVMe functions,
+//! translates and forwards to the backend SSD pool through its DMA
+//! router, and posts host CQEs itself. The BMS-Controller rides along
+//! for the management plane (exposed via [`Scheme::bm_parts`]).
+
+use super::{BuildCtx, Effect, PipelineStage, Scheme, SchemeCtx, Stage, BUS_HOP};
+use crate::types::DeviceId;
+use crate::world::{Device, VmState};
+use bm_baselines::vfio::VfioCosts;
+use bm_nvme::queue::DoorbellLayout;
+use bm_nvme::types::QueueId;
+use bm_pcie::FunctionId;
+use bm_sim::resource::FifoServer;
+use bm_sim::{SimDuration, SimTime};
+use bm_ssd::{Ssd, SsdId};
+use bmstore_core::controller::BmsController;
+use bmstore_core::engine::{BmsEngine, EngineAction, EngineConfig};
+
+/// Virtual NVMe functions exported by the BMS-Engine.
+pub(crate) struct BmStoreScheme {
+    engine: Box<BmsEngine>,
+    controller: Box<BmsController>,
+    /// Per-device front-end identity: (function, queue).
+    funcs: Vec<(FunctionId, QueueId)>,
+}
+
+/// Builds the BM-Store scheme: engine + controller, backend rings
+/// attached to every SSD, one front-end function per device spec.
+pub(crate) fn build(ctx: &mut BuildCtx, in_vm: bool) -> Box<dyn Scheme> {
+    let entries = ctx.cfg.queue_entries;
+    let specs = ctx.cfg.devices.clone();
+    let mut engine_cfg = EngineConfig::paper_default(ctx.ssds.len());
+    engine_cfg.store_and_forward_bw = ctx.cfg.store_and_forward_bw;
+    let mut engine = Box::new(BmsEngine::new(engine_cfg));
+    let controller = Box::new(BmsController::new(bm_pcie::mctp::Eid(8)));
+    for (i, ssd) in ctx.ssds.iter_mut().enumerate() {
+        let (sq, cq) = engine.ssd_rings(SsdId(i as u8));
+        ssd.attach_io_queues(sq, cq);
+    }
+    let mut funcs = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let func = FunctionId::new(i as u8).expect("≤128 devices");
+        engine
+            .bind_namespace(func, spec.size_bytes, spec.placement)
+            .expect("binding fits the back-end");
+        engine.set_qos_limit(func, spec.qos);
+        engine.set_function_enabled(func, true);
+        let (sq, cq) = ctx.alloc_rings(QueueId(1), entries);
+        engine
+            .function_mut(func)
+            .create_io_cq(QueueId(1), cq.base(), entries);
+        engine
+            .function_mut(func)
+            .create_io_sq(QueueId(1), sq.base(), entries);
+        funcs.push((func, QueueId(1)));
+        let vm = in_vm.then(|| VmState {
+            irq_cpu: FifoServer::new(),
+            costs: VfioCosts::paper_default(),
+        });
+        ctx.devices
+            .push(Device::new(sq, cq, vm, spec.size_bytes / 4096));
+    }
+    Box::new(BmStoreScheme {
+        engine,
+        controller,
+        funcs,
+    })
+}
+
+impl BmStoreScheme {
+    /// Maps front-end identity back to the device.
+    fn device_for(&self, func: FunctionId, qid: QueueId) -> DeviceId {
+        self.funcs
+            .iter()
+            .position(|&(f, q)| f == func && q == qid)
+            .map(DeviceId)
+            .expect("device for function")
+    }
+
+    /// Engine actions become scheduled pipeline stages, in order.
+    fn actions_to_effects(&self, actions: Vec<EngineAction>) -> Vec<Effect> {
+        actions
+            .into_iter()
+            .map(|action| match action {
+                EngineAction::BackendDoorbell { ssd, tail, at } => Effect::ScheduleAt {
+                    at,
+                    stage: Stage::EngineBackendDoorbell { ssd, tail },
+                },
+                EngineAction::HostCompletion {
+                    func,
+                    qid,
+                    cid,
+                    status,
+                    at,
+                } => Effect::ScheduleAt {
+                    at,
+                    stage: Stage::EngineHostCompletion {
+                        func,
+                        qid,
+                        cid,
+                        status,
+                    },
+                },
+                EngineAction::QosWakeup { at } => Effect::ScheduleAt {
+                    at,
+                    stage: Stage::EngineQosWakeup,
+                },
+            })
+            .collect()
+    }
+}
+
+impl Scheme for BmStoreScheme {
+    fn name(&self) -> &'static str {
+        "bm-store"
+    }
+
+    fn on_doorbell(
+        &mut self,
+        now: SimTime,
+        dev: DeviceId,
+        tail: u32,
+        _ctx: &mut SchemeCtx,
+    ) -> Vec<Effect> {
+        let (func, qid) = self.funcs[dev.0];
+        vec![Effect::ScheduleAt {
+            at: now + BUS_HOP,
+            stage: Stage::EngineDoorbell { func, qid, tail },
+        }]
+    }
+
+    fn on_stage(&mut self, now: SimTime, stage: Stage, ctx: &mut SchemeCtx) -> Vec<Effect> {
+        match stage {
+            Stage::EngineDoorbell { func, qid, tail } => {
+                let actions = self.engine.host_doorbell_write(
+                    now,
+                    func,
+                    DoorbellLayout::sq_tail_offset(qid),
+                    tail,
+                    ctx.host_mem,
+                );
+                self.actions_to_effects(actions)
+            }
+            Stage::EngineBackendDoorbell { ssd, tail } => {
+                let mut router = self.engine.dma_router(ctx.host_mem);
+                let completions =
+                    ctx.ssds[ssd.0 as usize].ring_sq_doorbell(now, QueueId(1), tail, &mut router);
+                completions
+                    .into_iter()
+                    .map(|io| Effect::ScheduleAt {
+                        at: io.at,
+                        stage: Stage::EngineBackendComplete { ssd, io },
+                    })
+                    .collect()
+            }
+            Stage::EngineBackendComplete { ssd, io } => {
+                {
+                    let mut router = self.engine.dma_router(ctx.host_mem);
+                    Ssd::deliver_read_payload(&io, &mut router);
+                    let _ = ctx.ssds[ssd.0 as usize].post_completion(&io, &mut router);
+                }
+                let (actions, cq_head) = self.engine.on_backend_completion(now, ssd, ctx.host_mem);
+                ctx.ssds[ssd.0 as usize].ring_cq_doorbell(QueueId(1), cq_head);
+                self.actions_to_effects(actions)
+            }
+            Stage::EngineHostCompletion {
+                func,
+                qid,
+                cid,
+                status,
+            } => {
+                if !self
+                    .engine
+                    .deliver_host_completion(func, qid, cid, status, ctx.host_mem)
+                {
+                    // Host CQ full: retry after the host consumes.
+                    return vec![Effect::ScheduleAt {
+                        at: now + SimDuration::from_us(2),
+                        stage: Stage::EngineHostCompletion {
+                            func,
+                            qid,
+                            cid,
+                            status,
+                        },
+                    }];
+                }
+                let dev = self.device_for(func, qid);
+                vec![
+                    Effect::Trace {
+                        stage: PipelineStage::Backend,
+                        dev,
+                        cid,
+                    },
+                    Effect::RaiseInterrupt {
+                        at: now + self.engine.timing().interrupt,
+                        dev,
+                        cid,
+                        status,
+                    },
+                ]
+            }
+            Stage::EngineQosWakeup => {
+                let actions = self.engine.qos_wakeup(now, ctx.host_mem);
+                self.actions_to_effects(actions)
+            }
+            other => unreachable!("bm-store scheme never schedules {other:?}"),
+        }
+    }
+
+    fn ack_host_cq(&mut self, now: SimTime, dev: DeviceId, head: u32, ctx: &mut SchemeCtx) {
+        let (func, qid) = self.funcs[dev.0];
+        let _ = self.engine.host_doorbell_write(
+            now,
+            func,
+            DoorbellLayout::cq_head_offset(qid),
+            head,
+            ctx.host_mem,
+        );
+    }
+
+    fn bm_parts(&mut self) -> Option<(&mut BmsEngine, &mut BmsController)> {
+        Some((&mut self.engine, &mut self.controller))
+    }
+
+    fn engine(&self) -> Option<&BmsEngine> {
+        Some(&self.engine)
+    }
+
+    fn controller(&self) -> Option<&BmsController> {
+        Some(&self.controller)
+    }
+
+    fn on_engine_actions(&mut self, actions: Vec<EngineAction>) -> Vec<Effect> {
+        self.actions_to_effects(actions)
+    }
+}

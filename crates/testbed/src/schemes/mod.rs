@@ -1,0 +1,399 @@
+//! The scheme effects pipeline.
+//!
+//! Every I/O scheme the testbed can run (native rings, VFIO
+//! passthrough, the BM-Store engine, SPDK vhost, ARM offload)
+//! implements one trait, [`Scheme`]. A scheme never touches the
+//! scheduler: each hook returns a list of [`Effect`]s, and the generic
+//! event loop in [`crate::world::World`] interprets them — scheduling
+//! pipeline continuations ([`Stage`]), ringing backend doorbells,
+//! raising interrupts, charging the host completion stack, delivering
+//! to clients, and notifying the [`PipelineObserver`].
+//!
+//! ```text
+//! submit ─▶ Stage::Doorbell ─▶ scheme hooks ─▶ Effect::ForwardToSsd
+//!    ▲                                               │
+//!    └── CompleteToClient ◀─ ChargeCpu ◀─ RaiseInterrupt ◀─ Stage::BackendComplete
+//! ```
+//!
+//! Determinism: effects are applied strictly in the order a hook
+//! returns them, and the scheduler breaks timestamp ties by insertion
+//! order, so a scheme's event interleaving is a pure function of its
+//! hook outputs.
+
+pub mod arm_offload;
+pub mod bm_store;
+pub mod mediated;
+pub mod native;
+pub mod spdk;
+pub mod vfio;
+
+use crate::config::TestbedConfig;
+use crate::types::DeviceId;
+use crate::world::Device;
+use bm_host::cpu::CpuPool;
+use bm_host::kernel::KernelProfile;
+use bm_nvme::command::{Sqe, CQE_SIZE, SQE_SIZE};
+use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
+use bm_nvme::types::{Cid, Lba, QueueId};
+use bm_nvme::Status;
+use bm_pcie::{FunctionId, HostMemory};
+use bm_sim::{SimDuration, SimTime};
+use bm_ssd::{CompletedIo, Ssd, SsdId};
+use bmstore_core::controller::BmsController;
+use bmstore_core::engine::{BmsEngine, EngineAction};
+
+/// Latency of a doorbell/MSI hop across the PCIe fabric.
+pub(crate) const BUS_HOP: SimDuration = SimDuration::from_nanos(300);
+
+/// Construction-time view of the testbed handed to the scheme
+/// builders: they allocate rings, attach SSD queue views, and push the
+/// tenant [`Device`]s they serve.
+pub(crate) struct BuildCtx<'a> {
+    pub(crate) cfg: &'a TestbedConfig,
+    pub(crate) host_mem: &'a mut HostMemory,
+    pub(crate) cpu: &'a mut CpuPool,
+    pub(crate) ssds: &'a mut Vec<Ssd>,
+    pub(crate) devices: &'a mut Vec<Device>,
+}
+
+impl BuildCtx<'_> {
+    /// Allocates an SQ/CQ pair of `entries` slots in host memory.
+    pub(crate) fn alloc_rings(
+        &mut self,
+        qid: QueueId,
+        entries: u16,
+    ) -> (SubmissionQueue, CompletionQueue) {
+        let sq_base = self
+            .host_mem
+            .alloc(entries as u64 * SQE_SIZE)
+            .expect("ring memory");
+        let cq_base = self
+            .host_mem
+            .alloc(entries as u64 * CQE_SIZE)
+            .expect("ring memory");
+        (
+            SubmissionQueue::new(qid, sq_base, entries),
+            CompletionQueue::new(qid, cq_base, entries),
+        )
+    }
+}
+
+/// Mutable testbed resources a scheme hook may touch: host physical
+/// memory (rings, payloads) and the backend SSD models. Everything
+/// else (devices, clients, the scheduler) is owned by the interpreter.
+pub struct SchemeCtx<'a> {
+    /// Host physical memory.
+    pub host_mem: &'a mut HostMemory,
+    /// Backend SSD models, indexed as configured.
+    pub ssds: &'a mut Vec<Ssd>,
+    /// The host kernel cost profile.
+    pub kernel: &'a KernelProfile,
+}
+
+/// A deferred pipeline continuation. Stages carry their own data
+/// (fetched SQEs, backend completions), so re-entering the scheme
+/// needs no lookup of transient state.
+#[derive(Debug)]
+pub enum Stage {
+    /// `dev`'s SQ tail doorbell rings after the submit-side latency.
+    /// Dispatched to [`Scheme::on_doorbell`] with the tail read at
+    /// dispatch time; `cid` is the command that triggered it (carried
+    /// for observation only).
+    Doorbell {
+        /// Device whose doorbell rings.
+        dev: DeviceId,
+        /// Command that triggered the ring.
+        cid: Cid,
+    },
+    /// Mediated: one guest SQE leaves the mediator for the backend
+    /// ring.
+    Forward {
+        /// Mediated device the SQE came from.
+        dev: DeviceId,
+        /// The command, as fetched from the guest SQ.
+        sqe: Sqe,
+    },
+    /// A backend SSD on a plain-DMA ring finished `io` (scheduled by
+    /// [`Effect::ForwardToSsd`]).
+    BackendComplete {
+        /// Backend SSD index.
+        ssd: usize,
+        /// The finished command.
+        io: CompletedIo,
+    },
+    /// Mediated: the mediator writes the guest CQE and injects the
+    /// interrupt.
+    GuestComplete {
+        /// Mediated device to complete on.
+        dev: DeviceId,
+        /// Completed command id.
+        cid: Cid,
+        /// Completion status.
+        status: Status,
+    },
+    /// BM-Store: the host SQ-tail doorbell write reaches the engine.
+    EngineDoorbell {
+        /// Front-end function.
+        func: FunctionId,
+        /// Queue within the function.
+        qid: QueueId,
+        /// Tail value written.
+        tail: u32,
+    },
+    /// BM-Store: the engine rings a backend SSD's SQ doorbell.
+    EngineBackendDoorbell {
+        /// Backend SSD behind the engine.
+        ssd: SsdId,
+        /// Tail value the engine wrote.
+        tail: u32,
+    },
+    /// BM-Store: a backend SSD behind the engine's DMA router finished
+    /// `io`.
+    EngineBackendComplete {
+        /// Backend SSD behind the engine.
+        ssd: SsdId,
+        /// The finished command.
+        io: CompletedIo,
+    },
+    /// BM-Store: the engine posts a host CQE (retried while the host
+    /// CQ is full).
+    EngineHostCompletion {
+        /// Front-end function.
+        func: FunctionId,
+        /// Queue within the function.
+        qid: QueueId,
+        /// Completed command id.
+        cid: Cid,
+        /// Completion status.
+        status: Status,
+    },
+    /// BM-Store: QoS pacing wakeup.
+    EngineQosWakeup,
+}
+
+/// One typed output of a scheme hook, interpreted by the world's
+/// generic event loop.
+#[derive(Debug)]
+pub enum Effect {
+    /// Run `stage` at `at`. Ties on `at` preserve emission order.
+    ScheduleAt {
+        /// When the stage runs.
+        at: SimTime,
+        /// The continuation.
+        stage: Stage,
+    },
+    /// Ring backend SSD `ssd`'s SQ doorbell at `at` over plain host
+    /// DMA. Every resulting completion re-enters the pipeline as a
+    /// [`Stage::BackendComplete`] at its completion time.
+    ForwardToSsd {
+        /// When the doorbell write lands.
+        at: SimTime,
+        /// Backend SSD index.
+        ssd: usize,
+        /// The SSD-side queue.
+        qid: QueueId,
+        /// Tail value to write.
+        tail: u32,
+    },
+    /// Interrupt (MSI or mediator injection) at the host/guest owning
+    /// `dev`: consume the CQE, acknowledge it through
+    /// [`Scheme::ack_host_cq`], then charge the completion stack.
+    /// Applied inline when `at` is not in the future (a mediator
+    /// completing synchronously); scheduled otherwise.
+    RaiseInterrupt {
+        /// When the interrupt fires.
+        at: SimTime,
+        /// Interrupted device.
+        dev: DeviceId,
+        /// Fallback command id if the CQ poll comes up empty.
+        cid: Cid,
+        /// Fallback status if the CQ poll comes up empty.
+        status: Status,
+    },
+    /// Charge the host completion stack for `dev` now — the guest IRQ
+    /// vCPU (VM devices) or the per-queue softirq context — and emit a
+    /// [`Effect::CompleteToClient`] at the resulting time.
+    ChargeCpu {
+        /// Device whose completion stack is charged.
+        dev: DeviceId,
+        /// Completed command id.
+        cid: Cid,
+        /// Completion status.
+        status: Status,
+    },
+    /// Deliver the completion to the owning client at `at`.
+    CompleteToClient {
+        /// Delivery time.
+        at: SimTime,
+        /// Completed device.
+        dev: DeviceId,
+        /// Completed command id.
+        cid: Cid,
+        /// Completion status.
+        status: Status,
+    },
+    /// Notify the [`PipelineObserver`] that `cid` passed `stage`.
+    Trace {
+        /// Pipeline point passed.
+        stage: PipelineStage,
+        /// Device the command belongs to.
+        dev: DeviceId,
+        /// The command.
+        cid: Cid,
+    },
+}
+
+/// The points of the I/O pipeline an observer can watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// SQE built and pushed into the host SQ.
+    Submit,
+    /// Host LBA translated to the backend LBA.
+    Translate,
+    /// SQ tail doorbell rang at the scheme.
+    Doorbell,
+    /// Backend completion reached the host boundary.
+    Backend,
+    /// Completion delivered to the owning client.
+    Complete,
+}
+
+impl PipelineStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [PipelineStage; 5] = [
+        PipelineStage::Submit,
+        PipelineStage::Translate,
+        PipelineStage::Doorbell,
+        PipelineStage::Backend,
+        PipelineStage::Complete,
+    ];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            PipelineStage::Submit => 0,
+            PipelineStage::Translate => 1,
+            PipelineStage::Doorbell => 2,
+            PipelineStage::Backend => 3,
+            PipelineStage::Complete => 4,
+        }
+    }
+}
+
+/// Per-stage instrumentation hook, called by the event loop as each
+/// command traverses the pipeline. Implementations must not assume a
+/// particular scheme: stages arrive in pipeline order per command, but
+/// commands interleave freely.
+pub trait PipelineObserver {
+    /// `cid` on `dev` passed `stage` at `now`.
+    fn on_stage(&mut self, now: SimTime, stage: PipelineStage, dev: DeviceId, cid: Cid);
+}
+
+/// A [`PipelineObserver`] that counts traversals per stage.
+///
+/// # Examples
+///
+/// ```
+/// use bm_testbed::schemes::{CountingObserver, PipelineStage};
+/// let obs = CountingObserver::default();
+/// assert_eq!(obs.count(PipelineStage::Submit), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    counts: [u64; 5],
+}
+
+impl CountingObserver {
+    /// Number of commands that passed `stage`.
+    pub fn count(&self, stage: PipelineStage) -> u64 {
+        self.counts[stage.index()]
+    }
+}
+
+impl PipelineObserver for CountingObserver {
+    fn on_stage(&mut self, _now: SimTime, stage: PipelineStage, _dev: DeviceId, _cid: Cid) {
+        self.counts[stage.index()] += 1;
+    }
+}
+
+/// One I/O scheme: how submissions reach a backend and how
+/// completions come home. Implementations live in the sibling modules
+/// ([`native`], [`bm_store`], [`spdk`], [`arm_offload`], with
+/// [`mediated`] providing the shared software-mediation core); the
+/// world selects one at construction time and never branches on the
+/// scheme kind again.
+pub trait Scheme {
+    /// Short scheme name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Translates a host-visible LBA to the backend LBA for `dev`
+    /// (identity for whole-disk schemes).
+    fn translate(&self, dev: DeviceId, lba: Lba) -> Lba {
+        let _ = dev;
+        lba
+    }
+
+    /// A request for `dev` was pushed into its SQ at `now`. Returns
+    /// the effects that carry it to the scheme's doorbell; submit-side
+    /// latency beyond the kernel's submit cost lives here. The default
+    /// rings the doorbell after the kernel submit path.
+    fn submit(
+        &mut self,
+        now: SimTime,
+        dev: DeviceId,
+        sqe: &Sqe,
+        kernel: &KernelProfile,
+    ) -> Vec<Effect> {
+        vec![Effect::ScheduleAt {
+            at: now + kernel.submit_cost,
+            stage: Stage::Doorbell { dev, cid: sqe.cid },
+        }]
+    }
+
+    /// `dev`'s SQ tail doorbell (value `tail`) lands at the scheme.
+    fn on_doorbell(
+        &mut self,
+        now: SimTime,
+        dev: DeviceId,
+        tail: u32,
+        ctx: &mut SchemeCtx,
+    ) -> Vec<Effect>;
+
+    /// A pipeline continuation scheduled by an earlier effect fires.
+    /// Never called with [`Stage::Doorbell`] (that one is routed to
+    /// [`Scheme::on_doorbell`] with the tail read at dispatch time).
+    fn on_stage(&mut self, now: SimTime, stage: Stage, ctx: &mut SchemeCtx) -> Vec<Effect>;
+
+    /// The host consumed `dev`'s CQ up to `head`: acknowledge it
+    /// backward (SSD CQ doorbell, guest CQ head, or engine CQ-head
+    /// doorbell).
+    fn ack_host_cq(&mut self, now: SimTime, dev: DeviceId, head: u32, ctx: &mut SchemeCtx);
+
+    /// Host CPU seconds burnt by polling cores (non-zero only for
+    /// SPDK vhost).
+    fn polling_cpu_busy(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    /// BM-Store management plane (engine + controller), if present.
+    fn bm_parts(&mut self) -> Option<(&mut BmsEngine, &mut BmsController)> {
+        None
+    }
+
+    /// The BMS-Engine, if this scheme has one.
+    fn engine(&self) -> Option<&BmsEngine> {
+        None
+    }
+
+    /// The BMS-Controller, if this scheme has one.
+    fn controller(&self) -> Option<&BmsController> {
+        None
+    }
+
+    /// Converts engine actions produced outside the I/O path (the
+    /// management plane) into effects. Non-BM-Store schemes have no
+    /// engine and return nothing.
+    fn on_engine_actions(&mut self, actions: Vec<EngineAction>) -> Vec<Effect> {
+        let _ = actions;
+        Vec::new()
+    }
+}

@@ -1,0 +1,12 @@
+//! VFIO passthrough: the [`native`](super::native) direct-attach data
+//! path with the device handed to a VM, so completions pay guest
+//! interrupt delivery and vCPU costs ([`VfioCosts`]).
+//!
+//! [`VfioCosts`]: bm_baselines::vfio::VfioCosts
+
+use super::{BuildCtx, Scheme};
+
+/// Builds the VFIO scheme: direct rings plus per-device VM state.
+pub(crate) fn build(ctx: &mut BuildCtx) -> Box<dyn Scheme> {
+    super::native::build_direct(ctx, true, "vfio")
+}

@@ -1,14 +1,17 @@
-//! The composed simulation world.
+//! The composed simulation world: a generic interpreter for the
+//! scheme effects pipeline.
 //!
 //! A [`World`] owns one host (memory, kernel profile, CPU pool), the
-//! back-end SSDs, the scheme under test (native rings, VFIO into a VM,
-//! the BMS-Engine + BMS-Controller, or an SPDK vhost target), the
-//! tenant devices, and the registered workload [`Client`]s. Event flow:
+//! back-end SSDs, the [`Scheme`] under test (built from
+//! [`crate::schemes`] at construction time), the tenant devices, and
+//! the registered workload [`Client`]s. The world never branches on
+//! which scheme is running: it submits requests, hands pipeline events
+//! to the scheme's hooks, and interprets the [`Effect`]s they return.
 //!
 //! ```text
-//! client ──submit──▶ host SQ ──doorbell──▶ scheme path ──▶ SSD model
-//!    ▲                                                        │
-//!    └──deliver──◀ host stack ◀──interrupt──◀ CQE ◀──completion┘
+//! client ──submit──▶ host SQ ──Stage::Doorbell──▶ Scheme hooks ──▶ SSD model
+//!    ▲                                                                │
+//!    └──CompleteToClient──◀ ChargeCpu ◀──RaiseInterrupt◀── effects ◀──┘
 //! ```
 //!
 //! Every hop is a scheduled event at the latency the respective model
@@ -16,99 +19,80 @@
 //! asserted.
 
 use crate::config::{SchemeKind, TestbedConfig};
+use crate::schemes::{
+    self, BuildCtx, Effect, PipelineObserver, PipelineStage, Scheme, SchemeCtx, Stage,
+};
 use crate::types::{BufferId, Client, ClientId, Completion, DeviceId, IoOp, IoRequest};
-use bm_baselines::arm_offload::{ArmOffload, ArmOffloadConfig};
-use bm_baselines::spdk::{SpdkVhost, SpdkVhostConfig};
 use bm_baselines::vfio::VfioCosts;
 use bm_host::cpu::CpuPool;
 use bm_host::kernel::KernelProfile;
-use bm_nvme::command::{IoOpcode, Sqe, CQE_SIZE, SQE_SIZE};
+use bm_nvme::command::{IoOpcode, Sqe};
 use bm_nvme::mi::{HealthStatus, MiResponse};
 use bm_nvme::prp::PrpPair;
-use bm_nvme::queue::{CompletionQueue, DoorbellLayout, SubmissionQueue};
-use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
-use bm_nvme::{Cqe, Status};
+use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
+use bm_nvme::types::{Cid, Nsid};
+use bm_nvme::Status;
 use bm_pcie::mctp::Eid;
-use bm_pcie::{FunctionId, HostMemory, PciAddr};
+use bm_pcie::{HostMemory, PciAddr};
 use bm_sim::resource::FifoServer;
 use bm_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
 use bm_ssd::firmware::CommitAction;
-use bm_ssd::{CompletedIo, Ssd, SsdConfig, SsdId};
+use bm_ssd::{Ssd, SsdConfig, SsdId};
 use bmstore_core::controller::commands::BmsCommand;
 use bmstore_core::controller::{request_packets, BackendAdmin, BmsController, ControllerAction};
-use bmstore_core::engine::{BmsEngine, EngineAction, EngineConfig};
+use bmstore_core::engine::BmsEngine;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-/// Latency of a doorbell/MSI hop across the PCIe fabric.
-const BUS_HOP: SimDuration = SimDuration::from_nanos(300);
-/// Virtio kick cost on the guest (ioeventfd exit).
-const VIRTIO_KICK: SimDuration = SimDuration::from_nanos(600);
-
-struct PendingHost {
-    client: ClientId,
-    tag: u64,
-    submitted: SimTime,
-    bytes: u64,
-    is_write: bool,
+pub(crate) struct PendingHost {
+    pub(crate) client: ClientId,
+    pub(crate) tag: u64,
+    pub(crate) submitted: SimTime,
+    pub(crate) bytes: u64,
+    pub(crate) is_write: bool,
 }
 
-struct VmState {
-    irq_cpu: FifoServer,
-    costs: VfioCosts,
+/// Guest-side interrupt state of a device handed to a VM.
+pub(crate) struct VmState {
+    pub(crate) irq_cpu: FifoServer,
+    pub(crate) costs: VfioCosts,
 }
 
-enum Attachment {
-    /// Rings registered directly at the SSD (native and VFIO).
-    Direct { ssd: usize, qid: QueueId },
-    /// A BM-Store front-end function.
-    BmStoreFn { func: FunctionId, qid: QueueId },
-    /// Mediated by a software data path (SPDK vhost or ARM offload):
-    /// guest rings are polled, commands forwarded to SSD rings the
-    /// mediator owns.
-    Mediated {
-        ssd: usize,
-        qid: QueueId,
-        lba_offset: u64,
-        /// Mediator's consumer view of the guest SQ.
-        fetch_sq: SubmissionQueue,
-        /// Mediator's producer view of the SSD SQ.
-        ssd_sq: SubmissionQueue,
-        /// Mediator's producer view of the guest CQ.
-        guest_cq: CompletionQueue,
-        /// Consumer position on the SSD CQ (for its head doorbell).
-        backend_cq_head: u16,
-        backend_cq_entries: u16,
-    },
-}
-
-struct Device {
-    sq: SubmissionQueue,
-    cq: CompletionQueue,
-    attachment: Attachment,
-    free_cids: Vec<u16>,
-    pending: HashMap<u16, PendingHost>,
-    waiting: VecDeque<(ClientId, IoRequest)>,
-    vm: Option<VmState>,
-    size_blocks: u64,
+/// One tenant device: the host-side rings and in-flight bookkeeping.
+/// How its doorbell reaches a backend is the scheme's business.
+pub(crate) struct Device {
+    pub(crate) sq: SubmissionQueue,
+    pub(crate) cq: CompletionQueue,
+    pub(crate) free_cids: Vec<u16>,
+    pub(crate) pending: HashMap<u16, PendingHost>,
+    pub(crate) waiting: VecDeque<(ClientId, IoRequest)>,
+    pub(crate) vm: Option<VmState>,
+    pub(crate) size_blocks: u64,
     /// Per-queue completion softirq context (irq affinity spreads
     /// device queues over cores, so the serialization is per device).
-    softirq: FifoServer,
+    pub(crate) softirq: FifoServer,
 }
 
-enum SchemeState {
-    Native,
-    BmStore {
-        engine: Box<BmsEngine>,
-        controller: Box<BmsController>,
-    },
-    Spdk {
-        vhost: SpdkVhost,
-    },
-    Arm {
-        arm: ArmOffload,
-    },
+impl Device {
+    pub(crate) fn new(
+        sq: SubmissionQueue,
+        cq: CompletionQueue,
+        vm: Option<VmState>,
+        size_blocks: u64,
+    ) -> Device {
+        let entries = sq.entries();
+        Device {
+            sq,
+            cq,
+            free_cids: (0..entries - 1).rev().collect(),
+            pending: HashMap::new(),
+            waiting: VecDeque::new(),
+            vm,
+            size_blocks,
+            softirq: FifoServer::new(),
+        }
+    }
 }
 
 /// The composed testbed (everything except the clients).
@@ -120,11 +104,12 @@ pub struct Testbed {
     pub cpu: CpuPool,
     kernel: KernelProfile,
     ssds: Vec<Ssd>,
-    scheme: SchemeState,
+    /// The scheme under test. `Option` only so hooks can borrow the
+    /// scheme and the rest of the testbed simultaneously (take /
+    /// put-back); it is always present between events.
+    scheme: Option<Box<dyn Scheme>>,
     devices: Vec<Device>,
     buffers: Vec<PrpPair>,
-    /// Maps (ssd index, back-end qid) → device for direct completions.
-    direct_map: HashMap<(usize, u16), DeviceId>,
     #[allow(dead_code)]
     rng: SimRng,
 }
@@ -138,7 +123,7 @@ impl Testbed {
     /// whole-disk devices than SSDs for a direct scheme).
     pub fn new(cfg: TestbedConfig) -> Self {
         let mut rng = SimRng::seed_from(cfg.seed);
-        let ssds: Vec<Ssd> = (0..cfg.ssds)
+        let mut ssds: Vec<Ssd> = (0..cfg.ssds)
             .map(|i| {
                 let mut ssd_cfg = SsdConfig::p4510_2tb(SsdId(i as u8))
                     .with_profile(cfg.ssd_profile.clone())
@@ -147,198 +132,46 @@ impl Testbed {
                 Ssd::new(ssd_cfg)
             })
             .collect();
-        let mut tb = Testbed {
+        let mut host_mem = HostMemory::new(8 << 30);
+        let mut cpu = CpuPool::xeon_8163_dual();
+        let mut devices = Vec::new();
+        let scheme = {
+            let mut ctx = BuildCtx {
+                cfg: &cfg,
+                host_mem: &mut host_mem,
+                cpu: &mut cpu,
+                ssds: &mut ssds,
+                devices: &mut devices,
+            };
+            match ctx.cfg.scheme.clone() {
+                SchemeKind::Native => schemes::native::build(&mut ctx),
+                SchemeKind::Vfio => schemes::vfio::build(&mut ctx),
+                SchemeKind::BmStore { in_vm } => schemes::bm_store::build(&mut ctx, in_vm),
+                SchemeKind::SpdkVhost { cores } => schemes::spdk::build(&mut ctx, cores),
+                SchemeKind::ArmOffload => schemes::arm_offload::build(&mut ctx),
+            }
+        };
+        Testbed {
             kernel: cfg.kernel.clone(),
-            scheme: SchemeState::Native,
-            devices: Vec::new(),
+            scheme: Some(scheme),
+            devices,
             buffers: Vec::new(),
-            direct_map: HashMap::new(),
             rng: rng.fork(0xBEEF),
-            host_mem: HostMemory::new(8 << 30),
-            cpu: CpuPool::xeon_8163_dual(),
+            host_mem,
+            cpu,
             ssds,
             cfg,
-        };
-        tb.build_scheme();
-        tb
-    }
-
-    fn alloc_rings(&mut self, qid: QueueId, entries: u16) -> (SubmissionQueue, CompletionQueue) {
-        let sq_base = self
-            .host_mem
-            .alloc(entries as u64 * SQE_SIZE)
-            .expect("ring memory");
-        let cq_base = self
-            .host_mem
-            .alloc(entries as u64 * CQE_SIZE)
-            .expect("ring memory");
-        (
-            SubmissionQueue::new(qid, sq_base, entries),
-            CompletionQueue::new(qid, cq_base, entries),
-        )
-    }
-
-    fn new_device(
-        sq: SubmissionQueue,
-        cq: CompletionQueue,
-        attachment: Attachment,
-        vm: Option<VmState>,
-        size_blocks: u64,
-    ) -> Device {
-        let entries = sq.entries();
-        Device {
-            sq,
-            cq,
-            attachment,
-            free_cids: (0..entries - 1).rev().collect(),
-            pending: HashMap::new(),
-            waiting: VecDeque::new(),
-            vm,
-            size_blocks,
-            softirq: FifoServer::new(),
-        }
-    }
-
-    fn build_scheme(&mut self) {
-        let entries = self.cfg.queue_entries;
-        let scheme = self.cfg.scheme.clone();
-        let specs = self.cfg.devices.clone();
-        match scheme {
-            SchemeKind::Native | SchemeKind::Vfio => {
-                let in_vm = matches!(scheme, SchemeKind::Vfio);
-                for (i, _spec) in specs.iter().enumerate() {
-                    assert!(i < self.ssds.len(), "one whole SSD per direct device");
-                    let (sq, cq) = self.alloc_rings(QueueId(1), entries);
-                    let ssd_sq = SubmissionQueue::new(QueueId(1), sq.base(), entries);
-                    let ssd_cq = CompletionQueue::new(QueueId(1), cq.base(), entries);
-                    let qid = self.ssds[i].attach_io_queues(ssd_sq, ssd_cq);
-                    let blocks = self.ssds[i].namespace().blocks();
-                    self.direct_map.insert((i, qid.0), DeviceId(i));
-                    let vm = in_vm.then(|| VmState {
-                        irq_cpu: FifoServer::new(),
-                        costs: VfioCosts::paper_default(),
-                    });
-                    self.devices.push(Self::new_device(
-                        sq,
-                        cq,
-                        Attachment::Direct { ssd: i, qid },
-                        vm,
-                        blocks,
-                    ));
-                }
-                self.scheme = SchemeState::Native;
-            }
-            SchemeKind::BmStore { in_vm } => {
-                let mut engine_cfg = EngineConfig::paper_default(self.ssds.len());
-                engine_cfg.store_and_forward_bw = self.cfg.store_and_forward_bw;
-                let mut engine = Box::new(BmsEngine::new(engine_cfg));
-                let controller = Box::new(BmsController::new(bm_pcie::mctp::Eid(8)));
-                for (i, ssd) in self.ssds.iter_mut().enumerate() {
-                    let (sq, cq) = engine.ssd_rings(SsdId(i as u8));
-                    ssd.attach_io_queues(sq, cq);
-                }
-                for (i, spec) in specs.iter().enumerate() {
-                    let func = FunctionId::new(i as u8).expect("≤128 devices");
-                    engine
-                        .bind_namespace(func, spec.size_bytes, spec.placement)
-                        .expect("binding fits the back-end");
-                    engine.set_qos_limit(func, spec.qos);
-                    engine.set_function_enabled(func, true);
-                    let (sq, cq) = self.alloc_rings(QueueId(1), entries);
-                    engine
-                        .function_mut(func)
-                        .create_io_cq(QueueId(1), cq.base(), entries);
-                    engine
-                        .function_mut(func)
-                        .create_io_sq(QueueId(1), sq.base(), entries);
-                    let vm = in_vm.then(|| VmState {
-                        irq_cpu: FifoServer::new(),
-                        costs: VfioCosts::paper_default(),
-                    });
-                    self.devices.push(Self::new_device(
-                        sq,
-                        cq,
-                        Attachment::BmStoreFn {
-                            func,
-                            qid: QueueId(1),
-                        },
-                        vm,
-                        spec.size_bytes / 4096,
-                    ));
-                }
-                self.scheme = SchemeState::BmStore { engine, controller };
-            }
-            SchemeKind::SpdkVhost { cores } => {
-                let reserved = self
-                    .cpu
-                    .reserve(cores)
-                    .expect("enough cores for vhost polling");
-                let vhost_cfg = self.cfg.spdk_config.clone().unwrap_or_else(|| {
-                    if self.cfg.kernel.name.contains("3.10") {
-                        SpdkVhostConfig::centos310()
-                    } else {
-                        SpdkVhostConfig::modern_kernel()
-                    }
-                });
-                let vhost = SpdkVhost::new(vhost_cfg, reserved);
-                self.build_mediated_devices(&specs, entries, true);
-                self.scheme = SchemeState::Spdk { vhost };
-            }
-            SchemeKind::ArmOffload => {
-                let arm = ArmOffload::new(ArmOffloadConfig::leapio_like());
-                self.build_mediated_devices(&specs, entries, false);
-                self.scheme = SchemeState::Arm { arm };
-            }
-        }
-    }
-
-    fn build_mediated_devices(
-        &mut self,
-        specs: &[crate::config::DeviceSpec],
-        entries: u16,
-        in_vm: bool,
-    ) {
-        for (i, spec) in specs.iter().enumerate() {
-            let ssd = i % self.ssds.len();
-            let size_blocks = spec.size_bytes / 4096;
-            let lba_offset = (i / self.ssds.len()) as u64 * size_blocks;
-            let (sq, cq) = self.alloc_rings(QueueId(1), entries);
-            let fetch_sq = SubmissionQueue::new(QueueId(1), sq.base(), entries);
-            let guest_cq = CompletionQueue::new(QueueId(1), cq.base(), entries);
-            let (bsq, bcq) = self.alloc_rings(QueueId(1), entries);
-            let ssd_view_sq = SubmissionQueue::new(QueueId(1), bsq.base(), entries);
-            let ssd_view_cq = CompletionQueue::new(QueueId(1), bcq.base(), entries);
-            let qid = self.ssds[ssd].attach_io_queues(ssd_view_sq, ssd_view_cq);
-            self.direct_map.insert((ssd, qid.0), DeviceId(i));
-            let vm = in_vm.then(|| VmState {
-                irq_cpu: FifoServer::new(),
-                costs: VfioCosts {
-                    interrupt_delivery: SimDuration::from_nanos(4_000),
-                    ..VfioCosts::paper_default()
-                },
-            });
-            self.devices.push(Self::new_device(
-                sq,
-                cq,
-                Attachment::Mediated {
-                    ssd,
-                    qid,
-                    lba_offset,
-                    fetch_sq,
-                    ssd_sq: bsq,
-                    guest_cq,
-                    backend_cq_head: 0,
-                    backend_cq_entries: entries,
-                },
-                vm,
-                size_blocks,
-            ));
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &TestbedConfig {
         &self.cfg
+    }
+
+    /// Name of the scheme under test.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.as_ref().expect("scheme present").name()
     }
 
     /// Number of tenant devices.
@@ -378,18 +211,12 @@ impl Testbed {
 
     /// Access to the BMS-Engine when running the BM-Store scheme.
     pub fn engine(&self) -> Option<&BmsEngine> {
-        match &self.scheme {
-            SchemeState::BmStore { engine, .. } => Some(engine),
-            _ => None,
-        }
+        self.scheme.as_ref().and_then(|s| s.engine())
     }
 
     /// Access to the BMS-Controller when running BM-Store.
     pub fn controller(&self) -> Option<&BmsController> {
-        match &self.scheme {
-            SchemeState::BmStore { controller, .. } => Some(controller),
-            _ => None,
-        }
+        self.scheme.as_ref().and_then(|s| s.controller())
     }
 
     /// Mutable access to engine and controller together (management-
@@ -402,12 +229,8 @@ impl Testbed {
         &mut HostMemory,
         &mut Vec<Ssd>,
     )> {
-        match &mut self.scheme {
-            SchemeState::BmStore { engine, controller } => {
-                Some((engine, controller, &mut self.host_mem, &mut self.ssds))
-            }
-            _ => None,
-        }
+        let (engine, controller) = self.scheme.as_mut()?.bm_parts()?;
+        Some((engine, controller, &mut self.host_mem, &mut self.ssds))
     }
 
     /// Access to a back-end SSD.
@@ -426,10 +249,10 @@ impl Testbed {
 
     /// Host CPU seconds burnt by polling cores (0 except for SPDK).
     pub fn polling_cpu_busy(&self) -> SimDuration {
-        match &self.scheme {
-            SchemeState::Spdk { vhost } => vhost.cpu_busy(),
-            _ => SimDuration::ZERO,
-        }
+        self.scheme
+            .as_ref()
+            .map(|s| s.polling_cpu_busy())
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -451,6 +274,7 @@ pub struct World {
     pending_raw: Vec<(SimTime, RawAction)>,
     mgmt_responses: Rc<RefCell<Vec<(SimTime, MiResponse)>>>,
     next_mgmt_tag: u8,
+    observer: Option<Rc<RefCell<dyn PipelineObserver>>>,
 }
 
 impl World {
@@ -463,6 +287,20 @@ impl World {
             pending_raw: Vec::new(),
             mgmt_responses: Rc::new(RefCell::new(Vec::new())),
             next_mgmt_tag: 0,
+            observer: None,
+        }
+    }
+
+    /// Installs a per-stage instrumentation hook; every command's
+    /// traversal of submit → translate → doorbell → backend → complete
+    /// is reported to it.
+    pub fn set_observer(&mut self, observer: Rc<RefCell<dyn PipelineObserver>>) {
+        self.observer = Some(observer);
+    }
+
+    fn observe(&self, now: SimTime, stage: PipelineStage, dev: DeviceId, cid: Cid) {
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_stage(now, stage, dev, cid);
         }
     }
 
@@ -553,6 +391,22 @@ impl World {
         }
     }
 
+    /// Runs `f` with the scheme taken out of the testbed, so hooks can
+    /// borrow the scheme and the remaining testbed resources at once.
+    fn with_scheme<R>(&mut self, f: impl FnOnce(&mut dyn Scheme, &mut SchemeCtx) -> R) -> R {
+        let mut scheme = self.tb.scheme.take().expect("scheme present");
+        let out = {
+            let mut ctx = SchemeCtx {
+                host_mem: &mut self.tb.host_mem,
+                ssds: &mut self.tb.ssds,
+                kernel: &self.tb.kernel,
+            };
+            f(scheme.as_mut(), &mut ctx)
+        };
+        self.tb.scheme = Some(scheme);
+        out
+    }
+
     /// Entry point for client I/O.
     fn submit_request(&mut self, s: &mut Scheduler<World>, client: ClientId, req: IoRequest) {
         let popped = self.tb.devices[req.dev.0].free_cids.pop();
@@ -579,11 +433,12 @@ impl World {
             debug_assert!(bytes <= prp.len, "buffer too small for request");
             (prp, bytes)
         };
-        let dev = &mut self.tb.devices[req.dev.0];
-        let lba = match &dev.attachment {
-            Attachment::Mediated { lba_offset, .. } => Lba(req.lba.raw() + lba_offset),
-            _ => req.lba,
-        };
+        let lba = self
+            .tb
+            .scheme
+            .as_ref()
+            .expect("scheme present")
+            .translate(req.dev, req.lba);
         let opcode = match req.op {
             IoOp::Read => IoOpcode::Read,
             IoOp::Write => IoOpcode::Write,
@@ -598,6 +453,7 @@ impl World {
             prp.prp1,
             prp.prp2,
         );
+        let dev = &mut self.tb.devices[req.dev.0];
         dev.sq
             .push(&mut self.tb.host_mem, &sqe)
             .expect("ring sized above queue depth");
@@ -611,217 +467,87 @@ impl World {
                 is_write: req.op.is_write(),
             },
         );
-        let mut delay = self.tb.kernel.submit_cost;
-        if matches!(dev.attachment, Attachment::Mediated { .. }) {
-            delay += VIRTIO_KICK;
-        }
-        let dev_id = req.dev;
-        s.schedule_at(now + delay, move |w: &mut World, s| {
-            w.ring_doorbell(s, dev_id);
-        });
+        self.observe(now, PipelineStage::Submit, req.dev, cid);
+        self.observe(now, PipelineStage::Translate, req.dev, cid);
+        let mut scheme = self.tb.scheme.take().expect("scheme present");
+        let effects = scheme.submit(now, req.dev, &sqe, &self.tb.kernel);
+        self.tb.scheme = Some(scheme);
+        self.apply_effects(s, effects);
     }
 
-    /// The doorbell lands at the scheme.
-    fn ring_doorbell(&mut self, s: &mut Scheduler<World>, dev_id: DeviceId) {
+    /// Dispatches a pipeline continuation back into the scheme.
+    fn run_stage(&mut self, s: &mut Scheduler<World>, stage: Stage) {
         let now = s.now();
-        let tail = self.tb.devices[dev_id.0].sq.tail() as u32;
-        enum Plan {
-            Direct { ssd: usize, qid: QueueId },
-            Bm { func: FunctionId, qid: QueueId },
-            Mediated,
-        }
-        let plan = match &self.tb.devices[dev_id.0].attachment {
-            Attachment::Direct { ssd, qid } => Plan::Direct {
-                ssd: *ssd,
-                qid: *qid,
-            },
-            Attachment::BmStoreFn { func, qid } => Plan::Bm {
-                func: *func,
-                qid: *qid,
-            },
-            Attachment::Mediated { .. } => Plan::Mediated,
+        let effects = match stage {
+            Stage::Doorbell { dev, cid } => {
+                let tail = self.tb.devices[dev.0].sq.tail() as u32;
+                self.observe(now, PipelineStage::Doorbell, dev, cid);
+                self.with_scheme(|scheme, ctx| scheme.on_doorbell(now, dev, tail, ctx))
+            }
+            other => self.with_scheme(|scheme, ctx| scheme.on_stage(now, other, ctx)),
         };
-        match plan {
-            Plan::Direct { ssd, qid } => {
-                s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
+        self.apply_effects(s, effects);
+    }
+
+    fn apply_effects(&mut self, s: &mut Scheduler<World>, effects: Vec<Effect>) {
+        for effect in effects {
+            self.apply_effect(s, effect);
+        }
+    }
+
+    /// The generic interpreter: one typed effect, one event-loop rule.
+    fn apply_effect(&mut self, s: &mut Scheduler<World>, effect: Effect) {
+        match effect {
+            Effect::ScheduleAt { at, stage } => {
+                s.schedule_at(at, move |w: &mut World, s| {
+                    w.run_stage(s, stage);
+                });
+            }
+            Effect::ForwardToSsd { at, ssd, qid, tail } => {
+                s.schedule_at(at, move |w: &mut World, s| {
                     let completions =
                         w.tb.ssds[ssd].ring_sq_doorbell(s.now(), qid, tail, &mut w.tb.host_mem);
-                    w.schedule_direct_completions(s, ssd, completions);
-                });
-            }
-            Plan::Bm { func, qid } => {
-                s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
-                    let SchemeState::BmStore { engine, .. } = &mut w.tb.scheme else {
-                        return;
-                    };
-                    let actions = engine.host_doorbell_write(
-                        s.now(),
-                        func,
-                        DoorbellLayout::sq_tail_offset(qid),
-                        tail,
-                        &mut w.tb.host_mem,
-                    );
-                    w.handle_engine_actions(s, actions);
-                });
-            }
-            Plan::Mediated => {
-                // The poller notices the kick and fetches everything new.
-                let mut sqes = Vec::new();
-                {
-                    let dev = &mut self.tb.devices[dev_id.0];
-                    let Attachment::Mediated { fetch_sq, .. } = &mut dev.attachment else {
-                        unreachable!("plan said mediated");
-                    };
-                    let _ = fetch_sq.doorbell_tail(tail);
-                    while let Ok(Some(sqe)) = fetch_sq.fetch(&mut self.tb.host_mem) {
-                        sqes.push(sqe);
+                    for io in completions {
+                        let at = io.at;
+                        s.schedule_at(at, move |w: &mut World, s| {
+                            w.run_stage(s, Stage::BackendComplete { ssd, io });
+                        });
                     }
-                }
-                for sqe in sqes {
-                    let bytes = sqe.transfer_len(4096);
-                    let is_write = sqe.io_opcode() == Some(IoOpcode::Write);
-                    let ready = match &mut self.tb.scheme {
-                        SchemeState::Spdk { vhost } => {
-                            vhost.process_submission(now, bytes, is_write)
-                        }
-                        SchemeState::Arm { arm } => arm.process(now, bytes),
-                        _ => unreachable!("mediated attachment without mediator"),
-                    };
-                    s.schedule_at(ready, move |w: &mut World, s| {
-                        w.mediated_forward(s, dev_id, sqe);
+                });
+            }
+            Effect::RaiseInterrupt {
+                at,
+                dev,
+                cid,
+                status,
+            } => {
+                // A mediator injecting at the current instant completes
+                // inline, in the same event (not behind queued peers).
+                if at <= s.now() {
+                    self.host_notify(s, dev, cid, status);
+                } else {
+                    s.schedule_at(at, move |w: &mut World, s| {
+                        w.host_notify(s, dev, cid, status);
                     });
                 }
             }
-        }
-    }
-
-    /// Mediator data path: push the SQE into the SSD's ring and ring its
-    /// doorbell.
-    fn mediated_forward(&mut self, s: &mut Scheduler<World>, dev_id: DeviceId, sqe: Sqe) {
-        let now = s.now();
-        let (ssd, qid, tail) = {
-            let dev = &mut self.tb.devices[dev_id.0];
-            let Attachment::Mediated {
-                ssd, qid, ssd_sq, ..
-            } = &mut dev.attachment
-            else {
-                unreachable!("mediated_forward on non-mediated attachment");
-            };
-            ssd_sq
-                .push(&mut self.tb.host_mem, &sqe)
-                .expect("backend ring sized above queue depth");
-            (*ssd, *qid, ssd_sq.tail() as u32)
-        };
-        s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
-            let completions =
-                w.tb.ssds[ssd].ring_sq_doorbell(s.now(), qid, tail, &mut w.tb.host_mem);
-            w.schedule_direct_completions(s, ssd, completions);
-        });
-    }
-
-    fn schedule_direct_completions(
-        &mut self,
-        s: &mut Scheduler<World>,
-        ssd: usize,
-        completions: Vec<CompletedIo>,
-    ) {
-        for io in completions {
-            let at = io.at;
-            s.schedule_at(at, move |w: &mut World, s| {
-                w.complete_from_ssd(s, ssd, io);
-            });
-        }
-    }
-
-    /// An SSD finished a command on a directly-registered ring.
-    fn complete_from_ssd(&mut self, s: &mut Scheduler<World>, ssd: usize, io: CompletedIo) {
-        let now = s.now();
-        Ssd::deliver_read_payload(&io, &mut self.tb.host_mem);
-        let cqe = match self.tb.ssds[ssd].post_completion(&io, &mut self.tb.host_mem) {
-            Ok(cqe) => cqe,
-            Err(_) => {
-                s.schedule_at(now + SimDuration::from_us(1), move |w: &mut World, s| {
-                    w.complete_from_ssd(s, ssd, io);
+            Effect::ChargeCpu { dev, cid, status } => self.charge_cpu(s, dev, cid, status),
+            Effect::CompleteToClient {
+                at,
+                dev,
+                cid,
+                status,
+            } => {
+                s.schedule_at(at, move |w: &mut World, s| {
+                    w.deliver_to_client(s, dev, cid, status);
                 });
-                return;
             }
-        };
-        let dev_id = *self
-            .tb
-            .direct_map
-            .get(&(ssd, io.qid.0))
-            .expect("completion for mapped queue");
-        let (cid, status) = (cqe.cid, cqe.status);
-        let is_mediated = matches!(
-            self.tb.devices[dev_id.0].attachment,
-            Attachment::Mediated { .. }
-        );
-        if is_mediated {
-            // The mediator consumes the backend CQE (polling) and acks
-            // the SSD CQ immediately.
-            {
-                let dev = &mut self.tb.devices[dev_id.0];
-                let Attachment::Mediated {
-                    backend_cq_head,
-                    backend_cq_entries,
-                    ssd_sq,
-                    ..
-                } = &mut dev.attachment
-                else {
-                    unreachable!("checked above");
-                };
-                *backend_cq_head = (*backend_cq_head + 1) % *backend_cq_entries;
-                // The mediator's producer view of the SSD SQ learns the
-                // consumption from the CQE.
-                ssd_sq.sync_head(cqe.sq_head);
-                let head = *backend_cq_head as u32;
-                let qid = io.qid;
-                self.tb.ssds[ssd].ring_cq_doorbell(qid, head);
-            }
-            let delay = match &self.tb.scheme {
-                SchemeState::Spdk { vhost } => vhost.completion_delay(),
-                SchemeState::Arm { .. } => SimDuration::from_us(2),
-                _ => SimDuration::ZERO,
-            };
-            s.schedule_at(now + delay, move |w: &mut World, s| {
-                w.mediated_guest_complete(s, dev_id, cid, status);
-            });
-        } else {
-            // Hardware MSI straight to the host/guest.
-            s.schedule_at(now + BUS_HOP, move |w: &mut World, s| {
-                w.host_notify(s, dev_id, cid, status);
-            });
+            Effect::Trace { stage, dev, cid } => self.observe(s.now(), stage, dev, cid),
         }
     }
 
-    /// The mediator writes the guest CQE and injects the interrupt.
-    fn mediated_guest_complete(
-        &mut self,
-        s: &mut Scheduler<World>,
-        dev_id: DeviceId,
-        cid: Cid,
-        status: Status,
-    ) {
-        let dev = &mut self.tb.devices[dev_id.0];
-        let Attachment::Mediated { guest_cq, .. } = &mut dev.attachment else {
-            unreachable!("mediated completion on direct attachment");
-        };
-        let cqe = Cqe {
-            result: 0,
-            sq_head: 0,
-            sq_id: QueueId(1),
-            cid,
-            phase: false,
-            status,
-        };
-        guest_cq
-            .post(&mut self.tb.host_mem, cqe)
-            .expect("guest CQ sized above queue depth");
-        self.host_notify(s, dev_id, cid, status);
-    }
-
-    /// Interrupt arrives at the host/guest: consume the CQE, pay the
-    /// completion-side stack costs, deliver to the client.
+    /// Interrupt arrives at the host/guest: consume the CQE, ack it
+    /// through the scheme, then charge the completion-side stack.
     fn host_notify(
         &mut self,
         s: &mut Scheduler<World>,
@@ -830,44 +556,26 @@ impl World {
         status: Status,
     ) {
         let now = s.now();
-        enum Ack {
-            Ssd(usize, QueueId),
-            GuestCq,
-            BmCq(FunctionId, QueueId),
-        }
-        let (cid, status, head, ack) = {
+        let (cid, status, head) = {
             let dev = &mut self.tb.devices[dev_id.0];
             let polled = dev.cq.poll(&mut self.tb.host_mem);
             let (cid, status) = polled.map(|c| (c.cid, c.status)).unwrap_or((cid, status));
-            let head = dev.cq.head() as u32;
-            let ack = match &dev.attachment {
-                Attachment::Direct { ssd, qid } => Ack::Ssd(*ssd, *qid),
-                Attachment::Mediated { .. } => Ack::GuestCq,
-                Attachment::BmStoreFn { func, qid } => Ack::BmCq(*func, *qid),
-            };
-            (cid, status, head, ack)
+            (cid, status, dev.cq.head() as u32)
         };
-        match ack {
-            Ack::Ssd(ssd, qid) => self.tb.ssds[ssd].ring_cq_doorbell(qid, head),
-            Ack::GuestCq => {
-                let dev = &mut self.tb.devices[dev_id.0];
-                if let Attachment::Mediated { guest_cq, .. } = &mut dev.attachment {
-                    let _ = guest_cq.doorbell_head(head);
-                }
-            }
-            Ack::BmCq(func, qid) => {
-                if let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme {
-                    let _ = engine.host_doorbell_write(
-                        now,
-                        func,
-                        DoorbellLayout::cq_head_offset(qid),
-                        head,
-                        &mut self.tb.host_mem,
-                    );
-                }
-            }
-        }
-        // Completion-side stack latency.
+        self.with_scheme(|scheme, ctx| scheme.ack_host_cq(now, dev_id, head, ctx));
+        self.apply_effect(
+            s,
+            Effect::ChargeCpu {
+                dev: dev_id,
+                cid,
+                status,
+            },
+        );
+    }
+
+    /// Completion-side stack latency: guest IRQ vCPU or host softirq.
+    fn charge_cpu(&mut self, s: &mut Scheduler<World>, dev_id: DeviceId, cid: Cid, status: Status) {
+        let now = s.now();
         let dev = &mut self.tb.devices[dev_id.0];
         let is_write = dev.pending.get(&cid.0).map(|p| p.is_write).unwrap_or(false);
         let deliver_at = match &mut dev.vm {
@@ -884,9 +592,15 @@ impl World {
                 t + self.tb.kernel.complete_cost + self.tb.kernel.extra_latency
             }
         };
-        s.schedule_at(deliver_at, move |w: &mut World, s| {
-            w.deliver_to_client(s, dev_id, cid, status);
-        });
+        self.apply_effect(
+            s,
+            Effect::CompleteToClient {
+                at: deliver_at,
+                dev: dev_id,
+                cid,
+                status,
+            },
+        );
     }
 
     fn deliver_to_client(
@@ -907,6 +621,7 @@ impl World {
             // the slot in the host's ring view.
             dev.sq.retire();
         }
+        self.observe(now, PipelineStage::Complete, dev_id, cid);
         let completed = if self.tb.cfg.apply_plug_factor {
             let real = now.saturating_since(pending.submitted);
             pending.submitted
@@ -936,114 +651,6 @@ impl World {
         self.call_client(s, client, ClientCall::Completion(completion));
     }
 
-    /// Applies engine actions as events.
-    pub(crate) fn handle_engine_actions(
-        &mut self,
-        s: &mut Scheduler<World>,
-        actions: Vec<EngineAction>,
-    ) {
-        for action in actions {
-            match action {
-                EngineAction::BackendDoorbell { ssd, tail, at } => {
-                    s.schedule_at(at, move |w: &mut World, s| {
-                        let SchemeState::BmStore { engine, .. } = &mut w.tb.scheme else {
-                            return;
-                        };
-                        let mut router = engine.dma_router(&mut w.tb.host_mem);
-                        let completions = w.tb.ssds[ssd.0 as usize].ring_sq_doorbell(
-                            s.now(),
-                            QueueId(1),
-                            tail,
-                            &mut router,
-                        );
-                        for io in completions {
-                            let at = io.at;
-                            s.schedule_at(at, move |w: &mut World, s| {
-                                w.bm_backend_complete(s, ssd, io);
-                            });
-                        }
-                    });
-                }
-                EngineAction::HostCompletion {
-                    func,
-                    qid,
-                    cid,
-                    status,
-                    at,
-                } => {
-                    s.schedule_at(at, move |w: &mut World, s| {
-                        w.bm_host_completion(s, func, qid, cid, status);
-                    });
-                }
-                EngineAction::QosWakeup { at } => {
-                    s.schedule_at(at, move |w: &mut World, s| {
-                        let SchemeState::BmStore { engine, .. } = &mut w.tb.scheme else {
-                            return;
-                        };
-                        let actions = engine.qos_wakeup(s.now(), &mut w.tb.host_mem);
-                        w.handle_engine_actions(s, actions);
-                    });
-                }
-            }
-        }
-    }
-
-    fn bm_host_completion(
-        &mut self,
-        s: &mut Scheduler<World>,
-        func: FunctionId,
-        qid: QueueId,
-        cid: Cid,
-        status: Status,
-    ) {
-        let now = s.now();
-        let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
-            return;
-        };
-        if !engine.deliver_host_completion(func, qid, cid, status, &mut self.tb.host_mem) {
-            // Host CQ full: retry after the host consumes.
-            s.schedule_at(now + SimDuration::from_us(2), move |w: &mut World, s| {
-                w.bm_host_completion(s, func, qid, cid, status);
-            });
-            return;
-        }
-        let interrupt = engine.timing().interrupt;
-        let dev_id = self
-            .tb
-            .devices
-            .iter()
-            .position(|d| {
-                matches!(d.attachment, Attachment::BmStoreFn { func: f, qid: q }
-                    if f == func && q == qid)
-            })
-            .map(DeviceId)
-            .expect("device for function");
-        s.schedule_at(now + interrupt, move |w: &mut World, s| {
-            w.host_notify(s, dev_id, cid, status);
-        });
-    }
-
-    /// SSD behind the engine finished a command.
-    fn bm_backend_complete(&mut self, s: &mut Scheduler<World>, ssd: SsdId, io: CompletedIo) {
-        let now = s.now();
-        {
-            let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
-                return;
-            };
-            let mut router = engine.dma_router(&mut self.tb.host_mem);
-            Ssd::deliver_read_payload(&io, &mut router);
-            let _ = self.tb.ssds[ssd.0 as usize].post_completion(&io, &mut router);
-        }
-        let (actions, cq_head) = {
-            let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
-                return;
-            };
-            engine.on_backend_completion(now, ssd, &mut self.tb.host_mem)
-        };
-        self.tb.ssds[ssd.0 as usize].ring_cq_doorbell(QueueId(1), cq_head);
-        self.handle_engine_actions(s, actions);
-    }
-
     /// Sends one management command through the full MCTP → controller
     /// path and applies the resulting actions.
     fn do_management(&mut self, s: &mut Scheduler<World>, cmd: BmsCommand) {
@@ -1051,11 +658,15 @@ impl World {
         self.next_mgmt_tag = (self.next_mgmt_tag + 1) % 8;
         let tag = self.next_mgmt_tag;
         let actions = {
-            let SchemeState::BmStore { engine, controller } = &mut self.tb.scheme else {
+            let tb = &mut self.tb;
+            let Some(scheme) = tb.scheme.as_mut() else {
+                return;
+            };
+            let Some((engine, controller)) = scheme.bm_parts() else {
                 return;
             };
             let mut driver = AdminDriver {
-                ssds: &mut self.tb.ssds,
+                ssds: &mut tb.ssds,
                 now,
             };
             let packets = request_packets(Eid(9), controller.eid(), tag, &cmd);
@@ -1066,7 +677,7 @@ impl World {
                     pkt,
                     engine,
                     &mut driver,
-                    &mut self.tb.host_mem,
+                    &mut tb.host_mem,
                 ));
             }
             actions
@@ -1095,16 +706,29 @@ impl World {
                 ControllerAction::FinishUpgrade { ssd, at } => {
                     s.schedule_at(at, move |w: &mut World, s| {
                         let engine_actions = {
-                            let SchemeState::BmStore { engine, controller } = &mut w.tb.scheme
-                            else {
+                            let tb = &mut w.tb;
+                            let Some(scheme) = tb.scheme.as_mut() else {
                                 return;
                             };
-                            controller.finish_upgrade(s.now(), ssd, engine, &mut w.tb.host_mem)
+                            let Some((engine, controller)) = scheme.bm_parts() else {
+                                return;
+                            };
+                            controller.finish_upgrade(s.now(), ssd, engine, &mut tb.host_mem)
                         };
-                        w.handle_engine_actions(s, engine_actions);
+                        let effects = match w.tb.scheme.as_mut() {
+                            Some(scheme) => scheme.on_engine_actions(engine_actions),
+                            None => Vec::new(),
+                        };
+                        w.apply_effects(s, effects);
                     });
                 }
-                ControllerAction::Engine(a) => self.handle_engine_actions(s, vec![a]),
+                ControllerAction::Engine(a) => {
+                    let effects = match self.tb.scheme.as_mut() {
+                        Some(scheme) => scheme.on_engine_actions(vec![a]),
+                        None => Vec::new(),
+                    };
+                    self.apply_effects(s, effects);
+                }
             }
         }
     }
@@ -1117,16 +741,18 @@ impl World {
     ///
     /// Panics if not running the BM-Store scheme.
     pub fn swap_ssd_hardware(&mut self, idx: usize) {
-        let SchemeState::BmStore { engine, .. } = &mut self.tb.scheme else {
+        let tb = &mut self.tb;
+        let scheme = tb.scheme.as_mut().expect("scheme present");
+        let Some((engine, _)) = scheme.bm_parts() else {
             panic!("hot-plug swap requires the BM-Store scheme");
         };
         let cfg = SsdConfig::p4510_2tb(SsdId(idx as u8))
-            .with_profile(self.tb.cfg.ssd_profile.clone())
-            .with_data_mode(self.tb.cfg.data_mode);
+            .with_profile(tb.cfg.ssd_profile.clone())
+            .with_data_mode(tb.cfg.data_mode);
         let mut fresh = Ssd::new(cfg);
         let (sq, cq) = engine.ssd_rings(SsdId(idx as u8));
         fresh.attach_io_queues(sq, cq);
-        self.tb.ssds[idx] = fresh;
+        tb.ssds[idx] = fresh;
     }
 }
 

@@ -1,7 +1,12 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper (see DESIGN.md).
 # Pass --quick for a fast pass at reduced simulated windows.
+# Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
+# single figure with a tree that is known-good).
 set -e
+if [ "${SKIP_CHECKS:-0}" != "1" ]; then
+    sh "$(dirname "$0")/scripts/check.sh"
+fi
 for bin in fig01_spdk_cores table02_fpga_resources fig08_baremetal \
            table06_os_matrix fig09_vm_perf fig10_scalability fig11_multivm \
            fig12_fairness fig13_mysql fig14_mixed table09_hotupgrade \

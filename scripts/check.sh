@@ -1,0 +1,22 @@
+#!/bin/sh
+# Workspace-wide preflight: build, tests, formatting, lints.
+#
+# Run before committing or regenerating experiment tables; the full
+# experiment sweep (run_all_experiments.sh) calls this first so stale
+# or broken code never produces "results".
+set -e
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

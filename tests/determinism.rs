@@ -42,9 +42,19 @@ fn same_seed_same_result_spdk() {
 
 #[test]
 fn different_seed_different_latency_profile() {
-    let a = fingerprint(7, SchemeKind::Native);
-    let b = fingerprint(8, SchemeKind::Native);
-    // Throughput may coincide at saturation; the latency accumulator
-    // (nanosecond-exact over ~80 K samples) will not.
+    // Use a queue-depth-1 workload: each I/O's latency is dominated by
+    // the seeded log-normal media time, so different seeds must give
+    // different nanosecond-exact latency means. (A saturated deep-queue
+    // workload would NOT work here: rand-r-128 is clocked by the
+    // deterministic 1550 ns softirq stage, which sits just below the
+    // die-pool ceiling, so ops *and* latency coincide across seeds.)
+    let fingerprint_qd1 = |seed: u64| {
+        let cfg = TestbedConfig::native(1).with_seed(seed);
+        let (r, _) = run_fio(cfg, FioSpec::rand_r_1().scaled(0.25));
+        let agg = aggregate(&r);
+        (agg.ops, agg.avg_latency.as_nanos())
+    };
+    let a = fingerprint_qd1(7);
+    let b = fingerprint_qd1(8);
     assert_ne!(a.1, b.1, "seeds 7/8 produced identical latency sums");
 }
