@@ -24,6 +24,31 @@ pub enum HotPlugPhase {
     Done,
 }
 
+/// Why a hot-plug phase transition was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotPlugError {
+    /// `finish` was called on an operation that already finished — a
+    /// second completion would fabricate a fresh report for work that
+    /// never happened.
+    AlreadyDone,
+    /// `finish` was called with a timestamp earlier than the pause
+    /// start — the report's pause window would run backwards.
+    BeforePauseStart,
+}
+
+impl std::fmt::Display for HotPlugError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HotPlugError::AlreadyDone => write!(f, "hot-plug already completed"),
+            HotPlugError::BeforePauseStart => {
+                write!(f, "hot-plug completion timestamped before its pause start")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HotPlugError {}
+
 /// One slot's replacement in progress.
 #[derive(Debug, Clone)]
 pub struct HotPlugState {
@@ -49,14 +74,29 @@ impl HotPlugState {
     }
 
     /// Marks the replacement done and produces the report.
-    pub fn finish(&mut self, now: SimTime, new: SsdId, retargeted: usize) -> HotPlugReport {
+    ///
+    /// Checked transition: fails if the operation already finished or
+    /// if `now` precedes the pause start (a time-travel bug in the
+    /// caller); on failure the state is left unchanged.
+    pub fn finish(
+        &mut self,
+        now: SimTime,
+        new: SsdId,
+        retargeted: usize,
+    ) -> Result<HotPlugReport, HotPlugError> {
+        if self.phase == HotPlugPhase::Done {
+            return Err(HotPlugError::AlreadyDone);
+        }
+        if now.checked_since(self.pause_start).is_none() {
+            return Err(HotPlugError::BeforePauseStart);
+        }
         self.phase = HotPlugPhase::Done;
-        HotPlugReport {
+        Ok(HotPlugReport {
             old: self.ssd,
             new,
-            io_pause: now.saturating_since(self.pause_start),
+            io_pause: now.since(self.pause_start),
             retargeted_entries: retargeted,
-        }
+        })
     }
 }
 
@@ -82,7 +122,9 @@ mod tests {
         let t0 = SimTime::from_nanos(5_000);
         let mut hp = HotPlugState::begin(t0, SsdId(2), 3);
         assert_eq!(hp.phase, HotPlugPhase::AwaitingReplacement);
-        let report = hp.finish(t0 + SimDuration::from_secs(30), SsdId(2), 0);
+        let report = hp
+            .finish(t0 + SimDuration::from_secs(30), SsdId(2), 0)
+            .expect("first finish succeeds");
         assert_eq!(report.old, report.new);
         assert_eq!(report.retargeted_entries, 0);
         assert_eq!(report.io_pause, SimDuration::from_secs(30));
@@ -92,8 +134,35 @@ mod tests {
     #[test]
     fn cross_bay_replacement_reports_retargets() {
         let mut hp = HotPlugState::begin(SimTime::ZERO, SsdId(0), 0);
-        let report = hp.finish(SimTime::from_nanos(1), SsdId(3), 24);
+        let report = hp
+            .finish(SimTime::from_nanos(1), SsdId(3), 24)
+            .expect("first finish succeeds");
         assert_eq!(report.new, SsdId(3));
         assert_eq!(report.retargeted_entries, 24);
+    }
+
+    #[test]
+    fn double_finish_is_rejected() {
+        let mut hp = HotPlugState::begin(SimTime::ZERO, SsdId(0), 0);
+        hp.finish(SimTime::from_nanos(1), SsdId(1), 0)
+            .expect("first finish succeeds");
+        assert_eq!(
+            hp.finish(SimTime::from_nanos(2), SsdId(1), 0),
+            Err(HotPlugError::AlreadyDone)
+        );
+    }
+
+    #[test]
+    fn finish_before_pause_start_is_rejected() {
+        let t0 = SimTime::from_nanos(5_000);
+        let mut hp = HotPlugState::begin(t0, SsdId(0), 0);
+        assert_eq!(
+            hp.finish(SimTime::from_nanos(4_999), SsdId(0), 0),
+            Err(HotPlugError::BeforePauseStart)
+        );
+        // The failed transition must not have consumed the state.
+        assert_eq!(hp.phase, HotPlugPhase::AwaitingReplacement);
+        hp.finish(t0, SsdId(0), 0)
+            .expect("valid finish still works");
     }
 }

@@ -32,6 +32,35 @@ pub enum UpgradePhase {
     Done,
 }
 
+/// Why an upgrade phase transition was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradeError {
+    /// `finish` was called on an upgrade that already resumed — a
+    /// second resume would double-flush buffered I/O and fabricate a
+    /// second Table-IX report.
+    AlreadyDone,
+    /// `finish` was called before the activation window elapsed; the
+    /// device is still frozen and resuming now would complete I/O
+    /// against dead firmware.
+    StillActivating {
+        /// The earliest instant `finish` may run.
+        resume_at: SimTime,
+    },
+}
+
+impl std::fmt::Display for UpgradeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpgradeError::AlreadyDone => write!(f, "upgrade already resumed"),
+            UpgradeError::StillActivating { resume_at } => {
+                write!(f, "device still activating until {resume_at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpgradeError {}
+
 /// One SSD's upgrade in progress.
 #[derive(Debug, Clone)]
 pub struct UpgradeState {
@@ -71,16 +100,28 @@ impl UpgradeState {
     }
 
     /// Marks the resume executed and produces the report.
-    pub fn finish(&mut self, now: SimTime) -> UpgradeReport {
+    ///
+    /// Checked transition: fails if the upgrade already resumed or if
+    /// `now` is still inside the activation window (the device has not
+    /// thawed yet); on failure the state is left unchanged.
+    pub fn finish(&mut self, now: SimTime) -> Result<UpgradeReport, UpgradeError> {
+        match self.phase {
+            UpgradePhase::Done => return Err(UpgradeError::AlreadyDone),
+            UpgradePhase::Activating { resume_at } => {
+                if now < resume_at {
+                    return Err(UpgradeError::StillActivating { resume_at });
+                }
+            }
+        }
         self.phase = UpgradePhase::Done;
-        UpgradeReport {
+        Ok(UpgradeReport {
             ssd: self.ssd,
             pause_start: self.pause_start,
             pause_end: now,
-            io_pause: now.saturating_since(self.pause_start),
+            io_pause: now.since(self.pause_start),
             activation: self.activation,
             controller_processing: CONTROLLER_PROCESSING,
-        }
+        })
     }
 }
 
@@ -119,7 +160,7 @@ mod tests {
         let mut up = UpgradeState::begin(t0, SsdId(1), activation, 12);
         let resume = up.resume_at();
         assert_eq!(resume, t0 + CONTROLLER_PROCESSING + activation);
-        let report = up.finish(resume);
+        let report = up.finish(resume).expect("resume at the scheduled instant");
         let total = report.total().as_secs_f64();
         assert!((6.0..9.0).contains(&total), "total {total}");
         assert_eq!(report.controller_processing, SimDuration::from_ms(100));
@@ -131,5 +172,28 @@ mod tests {
     fn processing_is_about_100ms() {
         // Paper: "the processing time of BM-Store is about 100 ms".
         assert_eq!(CONTROLLER_PROCESSING.as_secs_f64(), 0.1);
+    }
+
+    #[test]
+    fn early_finish_is_rejected() {
+        let t0 = SimTime::ZERO;
+        let activation = SimDuration::from_secs_f64(6.0);
+        let mut up = UpgradeState::begin(t0, SsdId(0), activation, 0);
+        let resume_at = up.resume_at();
+        assert_eq!(
+            up.finish(t0 + CONTROLLER_PROCESSING),
+            Err(UpgradeError::StillActivating { resume_at }),
+            "finishing while the device is frozen must be rejected"
+        );
+        assert!(matches!(up.phase, UpgradePhase::Activating { .. }));
+        up.finish(resume_at).expect("on-time finish succeeds");
+    }
+
+    #[test]
+    fn double_finish_is_rejected() {
+        let mut up = UpgradeState::begin(SimTime::ZERO, SsdId(0), SimDuration::from_secs(6), 0);
+        let resume = up.resume_at();
+        up.finish(resume).expect("first finish succeeds");
+        assert_eq!(up.finish(resume), Err(UpgradeError::AlreadyDone));
     }
 }

@@ -317,6 +317,12 @@ impl BmsController {
                 let Some(mut state) = self.hotplugs.remove(&old.0) else {
                     return (MiResponse::err(MiStatus::NotFound), Vec::new());
                 };
+                if now.checked_since(state.pause_start).is_none() {
+                    // Completion timestamped before the pause began:
+                    // reject without touching engine state.
+                    self.hotplugs.insert(old.0, state);
+                    return (MiResponse::err(MiStatus::InvalidParameter), Vec::new());
+                }
                 let retargeted = if old != new {
                     engine.retarget_ssd(old, new)
                 } else {
@@ -327,7 +333,9 @@ impl BmsController {
                     resumed.extend(engine.resume_ssd(now, old, host));
                 }
                 let actions = resumed.into_iter().map(ControllerAction::Engine).collect();
-                let report = state.finish(now, new, retargeted);
+                let report = state
+                    .finish(now, new, retargeted)
+                    .expect("transition validated before engine mutation");
                 self.hotplug_reports.push(report);
                 (MiResponse::ok(Vec::new()), actions)
             }
@@ -337,6 +345,10 @@ impl BmsController {
     /// Executes the resume phase of an upgrade (call at the
     /// `FinishUpgrade` action's time). Returns the engine actions that
     /// flush buffered I/O.
+    ///
+    /// Calling before the activation window has elapsed is a checked
+    /// no-op: the upgrade stays pending (and still frozen) and no
+    /// buffered I/O is flushed.
     ///
     /// # Panics
     ///
@@ -352,9 +364,19 @@ impl BmsController {
             .upgrades
             .remove(&ssd.0)
             .expect("upgrade in flight for this SSD");
-        let actions = engine.resume_ssd(now, ssd, host);
-        self.upgrade_reports.push(state.finish(now));
-        actions
+        match state.finish(now) {
+            Ok(report) => {
+                let actions = engine.resume_ssd(now, ssd, host);
+                self.upgrade_reports.push(report);
+                actions
+            }
+            Err(_) => {
+                // Too early (device still activating): leave the
+                // upgrade in flight and the engine quiesced.
+                self.upgrades.insert(ssd.0, state);
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -562,6 +584,38 @@ mod tests {
         assert!(!engine.is_paused(SsdId(1)));
         let report = ctl.upgrade_reports()[0];
         assert!((6.0..9.0).contains(&report.total().as_secs_f64()));
+    }
+
+    #[test]
+    fn premature_finish_upgrade_is_a_checked_no_op() {
+        let (mut ctl, mut engine, mut backend, mut host) = rig();
+        let (resp, actions) = send(
+            &mut ctl,
+            &mut engine,
+            &mut backend,
+            &mut host,
+            BmsCommand::FirmwareUpgrade {
+                ssd: SsdId(1),
+                slot: 2,
+                image: vec![1u8; 512],
+            },
+        );
+        assert!(resp.status.is_success());
+        let resume_at = match &actions[..] {
+            [ControllerAction::FinishUpgrade { at, .. }] => *at,
+            other => panic!("expected FinishUpgrade, got {other:?}"),
+        };
+        // Firing the resume while the device is still activating must
+        // not resume I/O or fabricate a report.
+        let early = SimTime::ZERO + SimDuration::from_ms(200);
+        let flushed = ctl.finish_upgrade(early, SsdId(1), &mut engine, &mut host);
+        assert!(flushed.is_empty());
+        assert!(engine.is_paused(SsdId(1)));
+        assert!(ctl.upgrade_reports().is_empty());
+        // The on-time resume still works afterwards.
+        let _ = ctl.finish_upgrade(resume_at, SsdId(1), &mut engine, &mut host);
+        assert!(!engine.is_paused(SsdId(1)));
+        assert_eq!(ctl.upgrade_reports().len(), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use bm_nvme::command::{CQE_SIZE, SQE_SIZE};
 use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
 use bm_nvme::types::{Cid, QueueId};
 use bm_nvme::Cqe;
-use bm_pcie::{FunctionId, HostMemory, PciAddr};
+use bm_pcie::{DmaContext, FunctionId, HostMemory, PciAddr};
 use bm_sim::SimTime;
 use bm_ssd::SsdId;
 use std::fmt;
@@ -32,6 +32,10 @@ pub struct Outstanding {
     pub is_write: bool,
     /// When the engine fetched the command from the host.
     pub fetched_at: SimTime,
+    /// Engine-wide monotonic sequence number of this forwarding
+    /// attempt. A retry of the same host command gets a fresh number,
+    /// so the timeout machinery can tell attempts apart.
+    pub seq: u64,
 }
 
 /// One SSD's back-end port.
@@ -47,6 +51,12 @@ pub struct BackEndPort {
     entries: u16,
     outstanding: Vec<Option<Outstanding>>,
     free_cids: Vec<u16>,
+    /// Slots abandoned by the timeout machinery. A zombie CID is not
+    /// reusable until its (possibly still in flight) stale completion
+    /// arrives and is swallowed, or the device is physically replaced —
+    /// otherwise a late completion could resolve to a different
+    /// command's origin.
+    zombies: Vec<bool>,
     /// Per-command PRP-list slots in chip memory (bus addresses).
     list_slots: Vec<PciAddr>,
     forwarded: u64,
@@ -90,6 +100,7 @@ impl BackEndPort {
             entries,
             outstanding: vec![None; entries as usize],
             free_cids: (0..entries).rev().collect(),
+            zombies: vec![false; entries as usize],
             list_slots: (0..entries as u64)
                 .map(|i| ChipWindow::bus_addr(list_base + i * 4096))
                 .collect(),
@@ -104,11 +115,45 @@ impl BackEndPort {
     }
 
     /// Builds the SSD-side ring descriptors over the same chip memory.
+    ///
+    /// The returned views start at head/tail 0, matching a freshly
+    /// initialised device. They are only consistent with the engine-side
+    /// descriptors when those are also at their initial position — i.e.
+    /// at first attach, or after [`BackEndPort::reset_rings`] during a
+    /// hot-plug hardware replacement.
     pub fn ssd_side_rings(&self) -> (SubmissionQueue, CompletionQueue) {
         (
             SubmissionQueue::new(QueueId(1), self.sq_bus, self.entries),
             CompletionQueue::new(QueueId(1), self.cq_bus, self.entries),
         )
+    }
+
+    /// Reinitialises the engine-side ring descriptors to head/tail 0.
+    ///
+    /// A replacement device negotiates its I/O queues from scratch, so
+    /// its ring views (see [`BackEndPort::ssd_side_rings`]) start at
+    /// zero; the engine side must restart from the same position or
+    /// every post-swap fetch and completion lands in the wrong slot.
+    /// Only safe while the port is quiescent — the hot-plug prepare
+    /// pause drains real in-flight commands and
+    /// [`BackEndPort::reap_zombies`] reclaims abandoned ones first.
+    ///
+    /// The CQ ring bytes are scrubbed too: the consumer is phase-tag
+    /// driven, so CQEs the departed device left behind would otherwise
+    /// read as valid on the first post-reset lap. (SQ bytes need no
+    /// scrub — the fetch side is purely index-driven.)
+    pub fn reset_rings(&mut self, chip: &mut HostMemory) {
+        debug_assert_eq!(
+            self.inflight(),
+            0,
+            "ring reset with commands in flight on {:?}",
+            self.ssd
+        );
+        self.sq = SubmissionQueue::new(QueueId(1), self.sq_bus, self.entries);
+        self.cq = CompletionQueue::new(QueueId(1), self.cq_bus, self.entries);
+        let mut win = ChipWindow(chip);
+        let zeros = vec![0u8; self.entries as usize * CQE_SIZE as usize];
+        win.dma_write(self.cq_bus, &zeros);
     }
 
     /// Commands currently in flight to the SSD.
@@ -165,9 +210,40 @@ impl BackEndPort {
                 self.free_cids.push(cid);
                 self.completed += 1;
                 out.push((origin, cqe));
+            } else if self.zombies[cid as usize] {
+                // Stale completion for a command the timeout machinery
+                // abandoned: swallow it and recycle the slot.
+                self.zombies[cid as usize] = false;
+                self.free_cids.push(cid);
             }
         }
         (out, self.cq.head() as u32)
+    }
+
+    /// Abandons an in-flight command (timeout machinery): the origin is
+    /// handed back to the caller for retry or abort, and the CID slot
+    /// becomes a zombie — unusable until its stale completion arrives
+    /// or [`BackEndPort::reap_zombies`] runs after a device swap.
+    pub fn abandon(&mut self, cid: Cid) -> Option<Outstanding> {
+        let origin = self.outstanding[cid.0 as usize].take()?;
+        self.zombies[cid.0 as usize] = true;
+        Some(origin)
+    }
+
+    /// Frees every zombie slot. Only safe once the device behind this
+    /// port can no longer complete the abandoned commands — i.e. right
+    /// after a hot-plug hardware replacement. Returns how many slots
+    /// were reclaimed.
+    pub fn reap_zombies(&mut self) -> usize {
+        let mut reaped = 0;
+        for (cid, zombie) in self.zombies.iter_mut().enumerate() {
+            if *zombie {
+                *zombie = false;
+                self.free_cids.push(cid as u16);
+                reaped += 1;
+            }
+        }
+        reaped
     }
 
     /// Snapshot of all in-flight origins (hot-upgrade context save).
@@ -251,6 +327,7 @@ mod tests {
             bytes: 4096,
             is_write: false,
             fetched_at: SimTime::ZERO,
+            seq: i as u64,
         }
     }
 
@@ -332,6 +409,44 @@ mod tests {
         port.reserve(origin(2));
         let snap = port.inflight_origins();
         assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn abandoned_slot_swallows_stale_completion() {
+        let mut chip = HostMemory::new(64 << 20);
+        let mut port = BackEndPort::new(SsdId(0), 8, &mut chip);
+        let (cid, _) = port.reserve(origin(1));
+        let got = port.abandon(cid).expect("origin handed back");
+        assert_eq!(got, origin(1));
+        assert!(port.abandon(cid).is_none(), "already abandoned");
+        // The slot is a zombie: no completion has arrived, so it must
+        // not be reusable yet.
+        assert_eq!(port.inflight(), 1);
+
+        // The stale completion arrives late; it resolves to nothing
+        // and recycles the slot.
+        let (_, mut ssd_cq) = port.ssd_side_rings();
+        let mut win = ChipWindow(&mut chip);
+        ssd_cq
+            .post(&mut win, Cqe::success(cid, QueueId(1), 0, false))
+            .unwrap();
+        let (done, _) = port.drain_completions(&mut chip);
+        assert!(done.is_empty(), "stale completion swallowed");
+        assert_eq!(port.inflight(), 0);
+    }
+
+    #[test]
+    fn reap_zombies_frees_slots_after_device_swap() {
+        let mut chip = HostMemory::new(64 << 20);
+        let mut port = BackEndPort::new(SsdId(0), 4, &mut chip);
+        let (c1, _) = port.reserve(origin(1));
+        let (c2, _) = port.reserve(origin(2));
+        port.abandon(c1);
+        port.abandon(c2);
+        assert_eq!(port.inflight(), 2, "zombies still hold slots");
+        assert_eq!(port.reap_zombies(), 2);
+        assert_eq!(port.inflight(), 0);
+        assert!(port.has_capacity());
     }
 
     #[test]

@@ -115,6 +115,16 @@ pub struct EngineConfig {
     /// the card memory at this rate (bytes/s), once on each direction
     /// of the store-and-forward. `None` = the paper's zero-copy design.
     pub store_and_forward_bw: Option<f64>,
+    /// Per-command back-end timeout. `None` (the default) disables the
+    /// timeout machinery entirely: no deadline events are emitted and
+    /// no retry state is kept, so the fault-free pipeline is
+    /// byte-identical to a build without it.
+    pub command_timeout: Option<SimDuration>,
+    /// Forwarding attempts after the first before a command is declared
+    /// persistently failed (only meaningful with `command_timeout`).
+    pub max_retries: u32,
+    /// What to do with a persistently failed command.
+    pub fail_policy: FailPolicy,
 }
 
 impl EngineConfig {
@@ -131,7 +141,18 @@ impl EngineConfig {
             mapping_rows: 128,
             timing: EngineTiming::default(),
             store_and_forward_bw: None,
+            command_timeout: None,
+            max_retries: 2,
+            fail_policy: FailPolicy::AbortToHost,
         }
+    }
+
+    /// Enables the per-command timeout machinery (see
+    /// [`EngineConfig::command_timeout`]).
+    pub fn with_command_timeout(mut self, timeout: SimDuration, policy: FailPolicy) -> Self {
+        self.command_timeout = Some(timeout);
+        self.fail_policy = policy;
+        self
     }
 
     /// The store-and-forward ablation variant (see
@@ -174,6 +195,84 @@ pub enum EngineAction {
         /// When the earliest buffered command releases.
         at: SimTime,
     },
+    /// A forwarded command's timeout deadline: call
+    /// [`BmsEngine::check_deadline`] at `at`. A no-op if the attempt
+    /// completed in the meantime. Only emitted when
+    /// [`EngineConfig::command_timeout`] is set.
+    CommandDeadline {
+        /// SSD the attempt was forwarded to.
+        ssd: SsdId,
+        /// The forwarding attempt's sequence number.
+        seq: u64,
+        /// When the deadline expires.
+        at: SimTime,
+    },
+}
+
+/// Policy for a command whose retries are exhausted (paper-implied
+/// resilience: the engine must never lose a command silently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailPolicy {
+    /// Complete the command to the host with [`Status::Aborted`] — the
+    /// host sees an explicit abort, never silence.
+    #[default]
+    AbortToHost,
+    /// Quiesce the SSD (as a hot-plug prepare would) and keep the
+    /// command at the front of the backlog for replay when management
+    /// resumes the device — e.g. after a hardware replacement.
+    QuiesceReplay,
+}
+
+/// A fault-recovery action the engine took, drained via
+/// [`BmsEngine::take_recovery_events`] and surfaced as pipeline trace
+/// events by the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// An attempt timed out and the command was forwarded again.
+    TimeoutRetry {
+        /// SSD the command targets.
+        ssd: SsdId,
+        /// Retry number (1 = first retry).
+        attempt: u32,
+    },
+    /// Retries exhausted; the command completed to the host with
+    /// [`Status::Aborted`].
+    TimeoutAbort {
+        /// SSD the command targeted.
+        ssd: SsdId,
+        /// Originating front-end function.
+        func: FunctionId,
+        /// Host command id.
+        cid: Cid,
+    },
+    /// Retries exhausted; the SSD was quiesced and the command buffered
+    /// for replay on resume.
+    TimeoutQuiesce {
+        /// The quiesced SSD.
+        ssd: SsdId,
+        /// Commands now buffered behind the pause.
+        buffered: usize,
+    },
+    /// A hardware replacement reclaimed abandoned (zombie) slots.
+    SlotsReclaimed {
+        /// The replaced SSD.
+        ssd: SsdId,
+        /// Slots reclaimed.
+        count: usize,
+    },
+}
+
+/// Counters for the timeout/retry machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Attempts that hit their deadline.
+    pub timeouts: u64,
+    /// Re-forwarded attempts.
+    pub retries: u64,
+    /// Commands aborted to the host.
+    pub aborts: u64,
+    /// Quiesce-and-replay escalations.
+    pub quiesces: u64,
 }
 
 /// Why a bind operation failed.
@@ -225,6 +324,8 @@ struct PendingIo {
     orig_prp1: PciAddr,
     orig_prp2: PciAddr,
     orig_blocks: u32,
+    /// Timed-out forwarding attempts so far (timeout machinery).
+    retries: u32,
 }
 
 /// Heap entry for QoS releases.
@@ -285,6 +386,25 @@ pub struct BmsEngine {
     fanout: HashMap<(u8, u16, u16), (u8, Status)>,
     /// Present only in the store-and-forward ablation.
     copy_link: Option<BandwidthLink>,
+    /// Monotonic id for forwarding attempts (also assigned with the
+    /// timeout machinery off — a bare counter costs nothing).
+    cmd_seq: u64,
+    /// Attempts whose deadline has not fired yet, keyed by `seq`.
+    /// Populated only when [`EngineConfig::command_timeout`] is set.
+    pending_retry: HashMap<u64, RetryEntry>,
+    /// Recovery actions not yet drained by the harness.
+    recovery_log: Vec<RecoveryEvent>,
+    resilience: ResilienceStats,
+}
+
+/// Retry bookkeeping for one in-flight forwarding attempt.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    ssd: SsdId,
+    cid: Cid,
+    /// Pristine span-level command, re-enqueued verbatim on retry
+    /// (`push_to_port` rebuilds the PRP list from it each attempt).
+    io: PendingIo,
 }
 
 impl std::fmt::Debug for BmsEngine {
@@ -329,6 +449,10 @@ impl BmsEngine {
             backlog: (0..cfg.ssd_count).map(|_| VecDeque::new()).collect(),
             fanout: HashMap::new(),
             copy_link: cfg.store_and_forward_bw.map(BandwidthLink::new),
+            cmd_seq: 0,
+            pending_retry: HashMap::new(),
+            recovery_log: Vec::new(),
+            resilience: ResilienceStats::default(),
             cfg,
         }
     }
@@ -517,6 +641,93 @@ impl BmsEngine {
         self.mapping.retarget_ssd(from, to)
     }
 
+    /// Fires a forwarding attempt's timeout deadline (call at the
+    /// [`EngineAction::CommandDeadline`] time).
+    ///
+    /// If attempt `seq` already completed this is a no-op. Otherwise
+    /// the attempt's slot is abandoned (a later stale completion is
+    /// swallowed, never double-delivered) and the command is either
+    /// forwarded again, or — once [`EngineConfig::max_retries`] is
+    /// exhausted — handled per [`EngineConfig::fail_policy`]: aborted
+    /// to the host with [`Status::Aborted`], or quiesced into the
+    /// backlog for buffered replay on the next management resume.
+    pub fn check_deadline(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        seq: u64,
+        host: &mut HostMemory,
+    ) -> Vec<EngineAction> {
+        let mut actions = Vec::new();
+        let Some(entry) = self.pending_retry.remove(&seq) else {
+            return actions; // completed in time
+        };
+        debug_assert_eq!(entry.ssd, ssd);
+        let Some(origin) = self.adaptor.port_mut(ssd).abandon(entry.cid) else {
+            return actions; // slot already resolved (defensive)
+        };
+        debug_assert_eq!(origin.seq, seq);
+        self.resilience.timeouts += 1;
+        let mut io = entry.io;
+        if io.retries < self.cfg.max_retries {
+            io.retries += 1;
+            self.resilience.retries += 1;
+            self.recovery_log.push(RecoveryEvent::TimeoutRetry {
+                ssd,
+                attempt: io.retries,
+            });
+            self.enqueue_backend(now, ssd, io, host, &mut actions);
+        } else {
+            match self.cfg.fail_policy {
+                FailPolicy::AbortToHost => {
+                    self.resilience.aborts += 1;
+                    self.recovery_log.push(RecoveryEvent::TimeoutAbort {
+                        ssd,
+                        func: origin.func,
+                        cid: origin.host_cid,
+                    });
+                    self.finish_origin(now, origin, Status::Aborted, &mut actions);
+                }
+                FailPolicy::QuiesceReplay => {
+                    self.pause_ssd(ssd);
+                    self.backlog[ssd.0 as usize].push_front(io);
+                    self.resilience.quiesces += 1;
+                    self.recovery_log.push(RecoveryEvent::TimeoutQuiesce {
+                        ssd,
+                        buffered: self.backlog[ssd.0 as usize].len(),
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    /// Tells the engine the hardware behind `ssd` was physically
+    /// replaced (hot-plug): abandoned zombie slots can never receive
+    /// their stale completions now, so they are reclaimed, and the
+    /// back-end rings restart from zero to match the factory-fresh
+    /// device's views (see [`host_adaptor::BackEndPort::reset_rings`]).
+    pub fn on_ssd_replaced(&mut self, ssd: SsdId) {
+        let port = self.adaptor.port_mut(ssd);
+        let count = port.reap_zombies();
+        port.reset_rings(&mut self.chip);
+        if count > 0 {
+            self.recovery_log
+                .push(RecoveryEvent::SlotsReclaimed { ssd, count });
+        }
+    }
+
+    /// Drains the recovery actions taken since the last call (the
+    /// testbed surfaces them as pipeline fault-trace events).
+    pub fn take_recovery_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.recovery_log)
+    }
+
+    /// Timeout/retry counters.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+    }
+
     // ------------------------------------------------------------------
     // Host-facing data plane
     // ------------------------------------------------------------------
@@ -607,6 +818,7 @@ impl BmsEngine {
                             orig_blocks: sqe.nlb_blocks(),
                             sqe,
                             fetched_at: fetch_at,
+                            retries: 0,
                         },
                         host,
                         &mut actions,
@@ -878,8 +1090,7 @@ impl BmsEngine {
             self.backlog[sidx].push_back(io);
             return;
         }
-        let action = self.push_to_port(now, ssd, io, host);
-        actions.push(action);
+        self.push_to_port(now, ssd, io, host, actions);
     }
 
     fn push_to_port(
@@ -888,9 +1099,12 @@ impl BmsEngine {
         ssd: SsdId,
         io: PendingIo,
         host: &mut HostMemory,
-    ) -> EngineAction {
+        actions: &mut Vec<EngineAction>,
+    ) {
         let bytes = io.sqe.transfer_len(self.cfg.block_size);
         let is_write = io.sqe.io_opcode() == Some(IoOpcode::Write);
+        self.cmd_seq += 1;
+        let seq = self.cmd_seq;
         let port = self.adaptor.port_mut(ssd);
         let (backend_cid, list_slot) = port.reserve(Outstanding {
             func: io.func,
@@ -899,7 +1113,23 @@ impl BmsEngine {
             bytes,
             is_write,
             fetched_at: io.fetched_at,
+            seq,
         });
+        if let Some(timeout) = self.cfg.command_timeout {
+            self.pending_retry.insert(
+                seq,
+                RetryEntry {
+                    ssd,
+                    cid: backend_cid,
+                    io: io.clone(),
+                },
+            );
+            actions.push(EngineAction::CommandDeadline {
+                ssd,
+                seq,
+                at: now + timeout,
+            });
+        }
         let mut sqe = io.sqe;
         let block_off = (sqe.cdw12 >> 16) as u64;
         let nblocks = sqe.nlb_blocks();
@@ -932,7 +1162,7 @@ impl BmsEngine {
                 at = at.max(link.transfer(now, bytes));
             }
         }
-        EngineAction::BackendDoorbell { ssd, tail, at }
+        actions.push(EngineAction::BackendDoorbell { ssd, tail, at });
     }
 
     /// Resolves the host page backing block `abs_block` of the original
@@ -982,6 +1212,9 @@ impl BmsEngine {
         let (done, cq_head) = self.adaptor.port_mut(ssd).drain_completions(&mut self.chip);
         let mut actions = Vec::new();
         for (origin, cqe) in done {
+            if !self.pending_retry.is_empty() {
+                self.pending_retry.remove(&origin.seq);
+            }
             self.finish_origin(now, origin, cqe.status, &mut actions);
         }
         // Freed slots: drain any backlog.
@@ -1052,8 +1285,7 @@ impl BmsEngine {
             && self.adaptor.port(ssd).has_capacity()
         {
             let io = self.backlog[sidx].pop_front().expect("non-empty");
-            let action = self.push_to_port(now, ssd, io, host);
-            actions.push(action);
+            self.push_to_port(now, ssd, io, host, &mut actions);
         }
         actions
     }
@@ -1391,6 +1623,7 @@ mod tests {
             orig_prp1: PciAddr::new(0x10_0000),
             orig_prp2: PciAddr::new(0x10_1000),
             orig_blocks: 16,
+            retries: 0,
         };
         let spans = engine.split_spans(&io);
         assert_eq!(spans.len(), 2);
@@ -1413,5 +1646,158 @@ mod tests {
         assert_eq!(n, 4);
         let (ssd, _) = engine.mapping().map(row_base, Lba(0)).unwrap();
         assert_eq!(ssd, SsdId(3));
+    }
+
+    /// Builds an engine with the timeout machinery armed and one read
+    /// forwarded to SSD 0, returning the attempt's deadline action.
+    fn timeout_rig(
+        timeout: SimDuration,
+        max_retries: u32,
+        policy: FailPolicy,
+    ) -> (BmsEngine, HostMemory, u64, SimTime) {
+        let mut cfg = EngineConfig::paper_default(4).with_command_timeout(timeout, policy);
+        cfg.max_retries = max_retries;
+        let mut engine = BmsEngine::new(cfg);
+        let mut host = HostMemory::new(1 << 30);
+        engine
+            .bind_namespace(fid(0), 64 << 30, Placement::Single(SsdId(0)))
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        let buf = host.alloc(4096).unwrap();
+        let sqe = Sqe::io(
+            IoOpcode::Read,
+            Cid(9),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            1,
+            buf,
+            PciAddr::NULL,
+        );
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 64);
+        host_sq.push(&mut host, &sqe).unwrap();
+        let actions = engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        let (seq, deadline) = actions
+            .iter()
+            .find_map(|a| match a {
+                EngineAction::CommandDeadline { seq, at, .. } => Some((*seq, *at)),
+                _ => None,
+            })
+            .expect("deadline armed");
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, EngineAction::BackendDoorbell { .. })),
+            "command still forwarded"
+        );
+        (engine, host, seq, deadline)
+    }
+
+    #[test]
+    fn timeout_retries_then_aborts_to_host() {
+        let (mut engine, mut host, seq, deadline) =
+            timeout_rig(SimDuration::from_us(10), 1, FailPolicy::AbortToHost);
+        // The SSD never completes the command (injected drop): the
+        // deadline fires and the engine re-forwards once.
+        let actions = engine.check_deadline(deadline, SsdId(0), seq, &mut host);
+        let (seq2, deadline2) = actions
+            .iter()
+            .find_map(|a| match a {
+                EngineAction::CommandDeadline { seq, at, .. } => Some((*seq, *at)),
+                _ => None,
+            })
+            .expect("retry re-armed a deadline");
+        assert_ne!(seq2, seq, "a retry is a fresh attempt");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, EngineAction::BackendDoorbell { .. })));
+        assert_eq!(engine.resilience_stats().retries, 1);
+        assert!(matches!(
+            engine.take_recovery_events()[..],
+            [RecoveryEvent::TimeoutRetry { attempt: 1, .. }]
+        ));
+
+        // The retry times out too: retries exhausted, abort to host.
+        let actions = engine.check_deadline(deadline2, SsdId(0), seq2, &mut host);
+        assert!(
+            matches!(
+                actions[..],
+                [EngineAction::HostCompletion {
+                    status: Status::Aborted,
+                    cid: Cid(9),
+                    ..
+                }]
+            ),
+            "got {actions:?}"
+        );
+        let stats = engine.resilience_stats();
+        assert_eq!(stats.timeouts, 2);
+        assert_eq!(stats.aborts, 1);
+        assert!(matches!(
+            engine.take_recovery_events()[..],
+            [RecoveryEvent::TimeoutAbort { .. }]
+        ));
+    }
+
+    #[test]
+    fn timeout_quiesce_buffers_for_replay() {
+        let (mut engine, mut host, seq, deadline) =
+            timeout_rig(SimDuration::from_us(10), 0, FailPolicy::QuiesceReplay);
+        let actions = engine.check_deadline(deadline, SsdId(0), seq, &mut host);
+        assert!(actions.is_empty(), "no host-visible action on quiesce");
+        assert!(engine.is_paused(SsdId(0)));
+        assert_eq!(engine.save_io_context(SsdId(0)).buffered, 1);
+        assert_eq!(engine.resilience_stats().quiesces, 1);
+        // Management resumes the device (e.g. after a hot-plug swap):
+        // the command replays.
+        let actions = engine.resume_ssd(deadline + SimDuration::from_ms(1), SsdId(0), &mut host);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, EngineAction::BackendDoorbell { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, EngineAction::CommandDeadline { .. })));
+    }
+
+    #[test]
+    fn deadline_after_completion_is_a_no_op() {
+        let (mut engine, mut host, seq, deadline) =
+            timeout_rig(SimDuration::from_us(10), 1, FailPolicy::AbortToHost);
+        // The SSD completes in time: post a CQE into the back-end CQ.
+        let (_, mut ssd_cq) = engine.ssd_rings(SsdId(0));
+        let mut router_host = HostMemory::new(1 << 20);
+        {
+            let mut router = engine.dma_router(&mut router_host);
+            ssd_cq
+                .post(&mut router, Cqe::success(Cid(0), QueueId(1), 1, false))
+                .unwrap();
+        }
+        let (actions, _) =
+            engine.on_backend_completion(SimTime::from_nanos(5_000), SsdId(0), &mut host);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            EngineAction::HostCompletion {
+                status: Status::Success,
+                ..
+            }
+        )));
+        // The stale deadline fires afterwards and must do nothing.
+        let actions = engine.check_deadline(deadline, SsdId(0), seq, &mut host);
+        assert!(actions.is_empty());
+        assert_eq!(engine.resilience_stats().timeouts, 0);
+        assert!(engine.take_recovery_events().is_empty());
     }
 }

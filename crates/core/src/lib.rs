@@ -17,4 +17,7 @@ pub mod controller;
 pub mod engine;
 pub mod tco;
 
-pub use engine::{BmsEngine, EngineAction, EngineConfig, EngineTiming, Placement};
+pub use engine::{
+    BmsEngine, EngineAction, EngineConfig, EngineTiming, FailPolicy, Placement, RecoveryEvent,
+    ResilienceStats,
+};

@@ -1,0 +1,218 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] is pure data: a list of [`FaultEvent`]s, each an
+//! instant plus a [`FaultKind`], and a seed for the probabilistic kinds.
+//! The plan itself performs no injection — the testbed's `World`
+//! schedules each event on the simulation clock and interprets the kind
+//! against the layer it targets (SSD model, MCTP link, PCIe link,
+//! engine).  Because the plan is scheduled like any other event and the
+//! probabilistic kinds draw from RNG streams forked from the plan's own
+//! seed, two runs with identical configuration and identical plans
+//! produce identical traces — and a run with an *empty* plan draws no
+//! random numbers and schedules no events, so it is byte-identical to a
+//! run of a build that has no fault machinery at all.
+//!
+//! # Event grammar
+//!
+//! | kind | layer | effect |
+//! |------|-------|--------|
+//! | [`FaultKind::SsdLatencySpike`] | SSD | adds `extra` to every completion until `until` |
+//! | [`FaultKind::SsdStall`] | SSD | freezes the device pipeline until `until` |
+//! | [`FaultKind::SsdDeath`] | SSD | device errors every subsequent I/O (surprise removal) |
+//! | [`FaultKind::SsdErrorBurst`] | SSD | each I/O fails with `probability` until `until` |
+//! | [`FaultKind::SsdDropCommands`] | SSD | silently swallows the next `count` I/O commands |
+//! | [`FaultKind::MctpDrop`] | management link | drops the next `count` MCTP packets |
+//! | [`FaultKind::LinkRetrain`] | PCIe link | defers bus crossings (doorbells, DMA, interrupts) until `until` |
+//!
+//! # Writing a plan
+//!
+//! ```
+//! use bm_sim::faults::{FaultKind, FaultPlan};
+//! use bm_sim::{SimDuration, SimTime};
+//!
+//! let t = |ms| SimTime::ZERO + SimDuration::from_ms(ms);
+//! let plan = FaultPlan::new(0x5EED)
+//!     .with(t(10), FaultKind::SsdLatencySpike {
+//!         ssd: 0,
+//!         extra: SimDuration::from_us(200),
+//!         until: t(20),
+//!     })
+//!     .with(t(15), FaultKind::MctpDrop { count: 1 });
+//! assert!(!plan.is_empty());
+//! assert_eq!(plan.events().len(), 2);
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One kind of injectable fault. See the [module docs](self) for the
+/// layer each kind targets.
+///
+/// SSDs are addressed by testbed index (position in the configured SSD
+/// list); this keeps `bm-sim` free of device-layer dependencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Every completion from SSD `ssd` takes `extra` longer, for
+    /// commands arriving before `until`.
+    SsdLatencySpike {
+        /// Testbed index of the target SSD.
+        ssd: usize,
+        /// Additional latency added to each completion.
+        extra: SimDuration,
+        /// End of the spike window.
+        until: SimTime,
+    },
+    /// SSD `ssd` stops making progress until `until`; commands issued
+    /// meanwhile complete only after the stall lifts.
+    SsdStall {
+        /// Testbed index of the target SSD.
+        ssd: usize,
+        /// Instant the device thaws.
+        until: SimTime,
+    },
+    /// SSD `ssd` dies permanently (surprise removal): every subsequent
+    /// I/O completes quickly with an internal error status. Only a
+    /// hardware swap ([hot-plug]) brings the bay back.
+    ///
+    /// [hot-plug]: ../../bmstore_core/controller/index.html
+    SsdDeath {
+        /// Testbed index of the target SSD.
+        ssd: usize,
+    },
+    /// Until `until`, each I/O on SSD `ssd` independently fails with
+    /// `probability`, sampled from a stream forked from the plan seed.
+    SsdErrorBurst {
+        /// Testbed index of the target SSD.
+        ssd: usize,
+        /// Per-command failure probability in `[0, 1]`.
+        probability: f64,
+        /// End of the burst window.
+        until: SimTime,
+    },
+    /// SSD `ssd` consumes the next `count` I/O submissions without ever
+    /// completing them — the stimulus for engine command timeouts.
+    SsdDropCommands {
+        /// Testbed index of the target SSD.
+        ssd: usize,
+        /// Number of commands to swallow.
+        count: u32,
+    },
+    /// The management (MCTP-over-SMBus/PCIe-VDM) link drops the next
+    /// `count` packets; the reassembler sees the gap and the sender
+    /// must retransmit.
+    MctpDrop {
+        /// Number of packets to drop.
+        count: u32,
+    },
+    /// PCIe link retrain: bus crossings (doorbell MMIO, DMA forwards,
+    /// interrupts) that would occur before `until` are deferred to
+    /// `until`.
+    LinkRetrain {
+        /// Instant the link is back at full width/speed.
+        until: SimTime,
+    },
+}
+
+/// A fault scheduled at an absolute instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault is injected.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, plus the seed feeding the
+/// probabilistic kinds.
+///
+/// An empty (default) plan is inert: interpreters must schedule
+/// nothing and draw nothing from any RNG, so the no-fault path is
+/// byte-for-byte identical to a fault-free build.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan whose probabilistic faults will draw from
+    /// streams forked from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Appends an event, builder-style.
+    #[must_use]
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// The scheduled events, in insertion order. Interpreters schedule
+    /// each on the simulation clock; ties are broken by insertion
+    /// order, like every other simulation event.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the plan schedules nothing — the zero-cost path.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The plan's base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic RNG for the probabilistic behaviour of the fault
+    /// targeting SSD `ssd`, independent of every other stream in the
+    /// simulation (forked from the plan seed, not the testbed seed).
+    pub fn rng_for_ssd(&self, ssd: usize) -> SimRng {
+        SimRng::seed_from(
+            self.seed ^ 0xFA17_0000 ^ (ssd as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(plan.events().is_empty());
+    }
+
+    #[test]
+    fn builder_preserves_insertion_order() {
+        let t = |ms| SimTime::ZERO + SimDuration::from_ms(ms);
+        let plan = FaultPlan::new(1)
+            .with(t(5), FaultKind::MctpDrop { count: 2 })
+            .with(t(1), FaultKind::SsdDeath { ssd: 0 });
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.events()[0].at, t(5));
+        assert_eq!(plan.events()[1].kind, FaultKind::SsdDeath { ssd: 0 });
+    }
+
+    #[test]
+    fn per_ssd_rng_is_deterministic_and_distinct() {
+        let plan = FaultPlan::new(42);
+        let mut a1 = plan.rng_for_ssd(0);
+        let mut a2 = plan.rng_for_ssd(0);
+        let mut b = plan.rng_for_ssd(1);
+        let x = a1.next_u64();
+        assert_eq!(x, a2.next_u64(), "same ssd, same stream");
+        assert_ne!(x, b.next_u64(), "different ssd, different stream");
+    }
+}

@@ -12,7 +12,10 @@
 //!   time-series recorders used by the benchmark harness,
 //! * [`resource`] — reusable queueing primitives (busy servers, token
 //!   buckets, shared bandwidth links) from which the device performance
-//!   models are composed.
+//!   models are composed,
+//! * [`faults`] — a deterministic, seeded fault-event vocabulary
+//!   ([`faults::FaultPlan`]) interpreted by the testbed so any scheme
+//!   can run under SSD, MCTP and PCIe-link misbehaviour.
 //!
 //! # Examples
 //!
@@ -31,11 +34,13 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Scheduler, Simulation};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

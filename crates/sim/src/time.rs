@@ -58,8 +58,33 @@ impl SimTime {
     }
 
     /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    ///
+    /// Prefer [`SimTime::since`] where `earlier <= self` is an invariant:
+    /// silent clamping here has hidden time-travel bugs in management
+    /// reports before.
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// Debug builds panic if `earlier` is later than `self` — a
+    /// negative elapsed time means an event ran out of order or a
+    /// timestamp was recorded from the future, and should fail loudly
+    /// in tests rather than be clamped. Release builds saturate to
+    /// zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            self >= earlier,
+            "time went backwards: {self} is before {earlier}"
+        );
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Time elapsed since `earlier`, or `None` if `earlier` is later
+    /// than `self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
     }
 
     /// The later of two instants.
@@ -285,5 +310,23 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_duration_panics() {
         let _ = SimDuration::from_micros_f64(-1.0);
+    }
+
+    #[test]
+    fn since_measures_forward_spans() {
+        let t0 = SimTime::from_nanos(100);
+        let t1 = t0 + SimDuration::from_nanos(50);
+        assert_eq!(t1.since(t0), SimDuration::from_nanos(50));
+        assert_eq!(t1.checked_since(t0), Some(SimDuration::from_nanos(50)));
+        assert_eq!(t0.checked_since(t1), None);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "time went backwards"))]
+    fn since_fails_loudly_on_time_travel() {
+        let t0 = SimTime::from_nanos(100);
+        let t1 = t0 + SimDuration::from_nanos(50);
+        // Debug builds panic; release builds saturate to zero.
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
     }
 }

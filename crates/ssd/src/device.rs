@@ -120,6 +120,32 @@ struct QueuePair {
     cq: CompletionQueue,
 }
 
+/// Injected misbehaviour, armed by the testbed's fault interpreter.
+///
+/// The default state is inert: no field is consulted beyond a cheap
+/// comparison against `SimTime::ZERO` / `0`, and no RNG is drawn, so a
+/// fault-free run is byte-identical to a build without fault support.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Extra latency added to completions of commands arriving before
+    /// `extra_until`.
+    extra_latency: SimDuration,
+    extra_until: SimTime,
+    /// Surprise removal: every subsequent I/O errors immediately.
+    dead: bool,
+    /// Probabilistic error window: each I/O before `error_until` fails
+    /// with `error_probability`, drawn from `error_rng` (forked from
+    /// the fault plan's seed, never the device's own stream).
+    error_probability: f64,
+    error_until: SimTime,
+    error_rng: Option<SimRng>,
+    /// I/O commands still to be silently swallowed (consumed from the
+    /// SQ but never completed — the stimulus for engine timeouts).
+    drop_remaining: u32,
+    /// Total commands swallowed so far.
+    dropped: u64,
+}
+
 /// The SSD device model.
 ///
 /// See the [crate documentation](crate) for the composition and
@@ -137,6 +163,7 @@ pub struct Ssd {
     /// End LBA of the most recent read (sequential-stream detection for
     /// mechanical profiles).
     last_read_end: u64,
+    faults: FaultState,
 }
 
 impl fmt::Debug for Ssd {
@@ -176,6 +203,7 @@ impl Ssd {
             fetched: 0,
             errors: 0,
             last_read_end: u64::MAX,
+            faults: FaultState::default(),
             cfg,
         }
     }
@@ -218,6 +246,52 @@ impl Ssd {
     /// Commands completed with error status.
     pub fn errors(&self) -> u64 {
         self.errors
+    }
+
+    /// Arms a latency spike: completions of commands arriving before
+    /// `until` take `extra` longer.
+    pub fn inject_latency_spike(&mut self, extra: SimDuration, until: SimTime) {
+        self.faults.extra_latency = extra;
+        self.faults.extra_until = until;
+    }
+
+    /// Stalls the device: no command issued before `until` completes
+    /// earlier than `until` (maps onto the performance model's freeze
+    /// horizon, the same machinery firmware activation uses).
+    pub fn inject_stall(&mut self, until: SimTime) {
+        self.perf.freeze_until(until);
+    }
+
+    /// Kills the device permanently (surprise removal): every
+    /// subsequent I/O completes quickly with [`Status::InternalError`].
+    pub fn inject_death(&mut self) {
+        self.faults.dead = true;
+    }
+
+    /// True once [`Ssd::inject_death`] has fired.
+    pub fn is_dead(&self) -> bool {
+        self.faults.dead
+    }
+
+    /// Arms a probabilistic error window: until `until`, each I/O
+    /// independently fails with `probability`, sampled from `rng`
+    /// (fork it from the fault plan seed so device timing streams stay
+    /// untouched).
+    pub fn inject_error_burst(&mut self, probability: f64, until: SimTime, rng: SimRng) {
+        self.faults.error_probability = probability;
+        self.faults.error_until = until;
+        self.faults.error_rng = Some(rng);
+    }
+
+    /// Arms silent command loss: the next `count` I/O submissions are
+    /// consumed from the queue but never complete.
+    pub fn inject_command_drops(&mut self, count: u32) {
+        self.faults.drop_remaining += count;
+    }
+
+    /// Total I/O commands silently swallowed by injected drops.
+    pub fn dropped_commands(&self) -> u64 {
+        self.faults.dropped
     }
 
     /// Attaches the admin queue pair (replacing any previous one).
@@ -282,7 +356,16 @@ impl Ssd {
             };
             self.fetched += 1;
             match fetch {
-                Ok(Some(sqe)) => out.push(self.process(now, qid, sqe, dma)),
+                Ok(Some(sqe)) => {
+                    if self.faults.drop_remaining > 0 && matches!(sqe.opcode, Opcode::Io(_)) {
+                        // Injected loss: the SQE is consumed but no
+                        // completion will ever be posted.
+                        self.faults.drop_remaining -= 1;
+                        self.faults.dropped += 1;
+                        continue;
+                    }
+                    out.push(self.process(now, qid, sqe, dma));
+                }
                 Ok(None) => break,
                 Err(status) => {
                     // Unparseable entry: complete with error immediately.
@@ -310,10 +393,14 @@ impl Ssd {
         sqe: Sqe,
         dma: &mut dyn DmaContext,
     ) -> CompletedIo {
-        match sqe.opcode {
+        let mut done = match sqe.opcode {
             Opcode::Io(op) => self.process_io(now, qid, op, sqe, dma),
             Opcode::Admin(op) => self.process_admin(now, qid, op, sqe, dma),
+        };
+        if now < self.faults.extra_until {
+            done.at += self.faults.extra_latency;
         }
+        done
     }
 
     fn fail(&mut self, now: SimTime, qid: QueueId, cid: Cid, status: Status) -> CompletedIo {
@@ -338,6 +425,19 @@ impl Ssd {
         sqe: Sqe,
         mut dma: &mut dyn DmaContext,
     ) -> CompletedIo {
+        if self.faults.dead {
+            return self.fail(now, qid, sqe.cid, Status::InternalError);
+        }
+        if now < self.faults.error_until {
+            let fires = self
+                .faults
+                .error_rng
+                .as_mut()
+                .is_some_and(|rng| rng.chance(self.faults.error_probability));
+            if fires {
+                return self.fail(now, qid, sqe.cid, Status::InternalError);
+            }
+        }
         if sqe.nsid != Some(self.ns.nsid()) {
             return self.fail(now, qid, sqe.cid, Status::InvalidNamespace);
         }

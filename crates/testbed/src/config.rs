@@ -1,9 +1,11 @@
 //! Testbed construction: scheme choice, device layout, knobs.
 
 use bm_host::KernelProfile;
+use bm_sim::faults::FaultPlan;
+use bm_sim::SimDuration;
 use bm_ssd::{DataMode, PerfProfile, SsdId};
 use bmstore_core::engine::qos::QosLimit;
-use bmstore_core::Placement;
+use bmstore_core::{FailPolicy, Placement};
 
 /// Which storage virtualization scheme attaches the devices.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +98,15 @@ pub struct TestbedConfig {
     /// BM-Store ablation: store-and-forward card-DRAM bandwidth
     /// (`None` = the paper's zero-copy DMA routing).
     pub store_and_forward_bw: Option<f64>,
+    /// Scheduled/probabilistic fault injections. The default empty plan
+    /// is inert: no events are scheduled and no RNG is drawn, so
+    /// fault-free runs are bit-identical to builds without this field.
+    pub fault_plan: FaultPlan,
+    /// BM-Store engine per-command timeout (`None` = timeouts disarmed,
+    /// the paper-default fast path).
+    pub command_timeout: Option<SimDuration>,
+    /// What the BM-Store engine does after exhausting timeout retries.
+    pub engine_fail_policy: FailPolicy,
 }
 
 impl TestbedConfig {
@@ -113,6 +124,9 @@ impl TestbedConfig {
             apply_plug_factor: false,
             spdk_config: None,
             store_and_forward_bw: None,
+            fault_plan: FaultPlan::default(),
+            command_timeout: None,
+            engine_fail_policy: FailPolicy::AbortToHost,
         }
     }
 
@@ -160,6 +174,19 @@ impl TestbedConfig {
     /// Enables full data movement.
     pub fn with_data_mode(mut self, mode: DataMode) -> Self {
         self.data_mode = mode;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Arms the BM-Store engine's per-command timeout.
+    pub fn with_command_timeout(mut self, timeout: SimDuration, policy: FailPolicy) -> Self {
+        self.command_timeout = Some(timeout);
+        self.engine_fail_policy = policy;
         self
     }
 }

@@ -108,7 +108,8 @@ pub mod world;
 
 pub use config::{DeviceSpec, SchemeKind, TestbedConfig};
 pub use schemes::{
-    CountingObserver, Effect, PipelineObserver, PipelineStage, Scheme, SchemeCtx, Stage,
+    CountingObserver, Effect, FaultLog, FaultTraceEvent, PipelineObserver, PipelineStage, Scheme,
+    SchemeCtx, Stage,
 };
 pub use types::{BufferId, Client, ClientId, ClientOutput, Completion, DeviceId, IoOp, IoRequest};
 pub use world::{Testbed, World};

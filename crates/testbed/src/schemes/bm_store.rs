@@ -3,7 +3,7 @@
 //! router, and posts host CQEs itself. The BMS-Controller rides along
 //! for the management plane (exposed via [`Scheme::bm_parts`]).
 
-use super::{BuildCtx, Effect, PipelineStage, Scheme, SchemeCtx, Stage, BUS_HOP};
+use super::{BuildCtx, Effect, FaultTraceEvent, PipelineStage, Scheme, SchemeCtx, Stage, BUS_HOP};
 use crate::types::DeviceId;
 use crate::world::{Device, VmState};
 use bm_baselines::vfio::VfioCosts;
@@ -31,6 +31,9 @@ pub(crate) fn build(ctx: &mut BuildCtx, in_vm: bool) -> Box<dyn Scheme> {
     let specs = ctx.cfg.devices.clone();
     let mut engine_cfg = EngineConfig::paper_default(ctx.ssds.len());
     engine_cfg.store_and_forward_bw = ctx.cfg.store_and_forward_bw;
+    if let Some(timeout) = ctx.cfg.command_timeout {
+        engine_cfg = engine_cfg.with_command_timeout(timeout, ctx.cfg.engine_fail_policy);
+    }
     let mut engine = Box::new(BmsEngine::new(engine_cfg));
     let controller = Box::new(BmsController::new(bm_pcie::mctp::Eid(8)));
     for (i, ssd) in ctx.ssds.iter_mut().enumerate() {
@@ -78,35 +81,48 @@ impl BmStoreScheme {
     }
 
     /// Engine actions become scheduled pipeline stages, in order.
-    fn actions_to_effects(&self, actions: Vec<EngineAction>) -> Vec<Effect> {
-        actions
+    /// Recovery events the engine logged while producing them are
+    /// drained first, so observers see the recovery before its
+    /// consequences.
+    fn actions_to_effects(&mut self, actions: Vec<EngineAction>) -> Vec<Effect> {
+        let mut effects: Vec<Effect> = self
+            .engine
+            .take_recovery_events()
             .into_iter()
-            .map(|action| match action {
-                EngineAction::BackendDoorbell { ssd, tail, at } => Effect::ScheduleAt {
-                    at,
-                    stage: Stage::EngineBackendDoorbell { ssd, tail },
-                },
-                EngineAction::HostCompletion {
+            .map(|event| Effect::FaultTrace {
+                event: FaultTraceEvent::EngineRecovery(event),
+            })
+            .collect();
+        effects.extend(actions.into_iter().map(|action| match action {
+            EngineAction::BackendDoorbell { ssd, tail, at } => Effect::ScheduleAt {
+                at,
+                stage: Stage::EngineBackendDoorbell { ssd, tail },
+            },
+            EngineAction::HostCompletion {
+                func,
+                qid,
+                cid,
+                status,
+                at,
+            } => Effect::ScheduleAt {
+                at,
+                stage: Stage::EngineHostCompletion {
                     func,
                     qid,
                     cid,
                     status,
-                    at,
-                } => Effect::ScheduleAt {
-                    at,
-                    stage: Stage::EngineHostCompletion {
-                        func,
-                        qid,
-                        cid,
-                        status,
-                    },
                 },
-                EngineAction::QosWakeup { at } => Effect::ScheduleAt {
-                    at,
-                    stage: Stage::EngineQosWakeup,
-                },
-            })
-            .collect()
+            },
+            EngineAction::QosWakeup { at } => Effect::ScheduleAt {
+                at,
+                stage: Stage::EngineQosWakeup,
+            },
+            EngineAction::CommandDeadline { ssd, seq, at } => Effect::ScheduleAt {
+                at,
+                stage: Stage::EngineDeadline { ssd, seq },
+            },
+        }));
+        effects
     }
 }
 
@@ -201,6 +217,10 @@ impl Scheme for BmStoreScheme {
             }
             Stage::EngineQosWakeup => {
                 let actions = self.engine.qos_wakeup(now, ctx.host_mem);
+                self.actions_to_effects(actions)
+            }
+            Stage::EngineDeadline { ssd, seq } => {
+                let actions = self.engine.check_deadline(now, ssd, seq, ctx.host_mem);
                 self.actions_to_effects(actions)
             }
             other => unreachable!("bm-store scheme never schedules {other:?}"),

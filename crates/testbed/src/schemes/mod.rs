@@ -169,6 +169,16 @@ pub enum Stage {
     },
     /// BM-Store: QoS pacing wakeup.
     EngineQosWakeup,
+    /// BM-Store: a forwarded command's timeout deadline expires
+    /// (dispatched to the engine's `check_deadline`; a no-op when the
+    /// attempt completed in time). Only scheduled when the engine's
+    /// command timeout is armed.
+    EngineDeadline {
+        /// Backend SSD the attempt targeted.
+        ssd: SsdId,
+        /// The forwarding attempt's sequence number.
+        seq: u64,
+    },
 }
 
 /// One typed output of a scheme hook, interpreted by the world's
@@ -241,6 +251,38 @@ pub enum Effect {
         /// The command.
         cid: Cid,
     },
+    /// Notify the [`PipelineObserver`] that a fault was injected or a
+    /// recovery action was taken (never silent, per the fault model).
+    FaultTrace {
+        /// What happened.
+        event: FaultTraceEvent,
+    },
+}
+
+/// A fault or recovery action made observable through the pipeline
+/// observer. Injections come from the testbed's `FaultPlan`
+/// interpreter; recoveries come from the engine's timeout machinery
+/// and the management-link retransmit logic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTraceEvent {
+    /// A `FaultPlan` event was injected into its target layer.
+    Injected(bm_sim::faults::FaultKind),
+    /// The management link dropped an MCTP packet.
+    MctpPacketDropped,
+    /// The management console retransmitted a request after a drop.
+    MctpRetransmit {
+        /// Retransmission attempt number (1 = first resend).
+        attempt: u32,
+    },
+    /// A bus crossing was deferred to the end of a PCIe link-retrain
+    /// window.
+    LinkDeferred {
+        /// When the deferred crossing actually happens.
+        until: SimTime,
+    },
+    /// The engine's timeout machinery acted (retry, abort, quiesce, or
+    /// slot reclamation).
+    EngineRecovery(bmstore_core::engine::RecoveryEvent),
 }
 
 /// The points of the I/O pipeline an observer can watch.
@@ -286,6 +328,12 @@ impl PipelineStage {
 pub trait PipelineObserver {
     /// `cid` on `dev` passed `stage` at `now`.
     fn on_stage(&mut self, now: SimTime, stage: PipelineStage, dev: DeviceId, cid: Cid);
+
+    /// A fault was injected or a recovery action taken at `now`. The
+    /// default ignores it, so stage-only observers need no change.
+    fn on_fault(&mut self, now: SimTime, event: &FaultTraceEvent) {
+        let _ = (now, event);
+    }
 }
 
 /// A [`PipelineObserver`] that counts traversals per stage.
@@ -300,6 +348,7 @@ pub trait PipelineObserver {
 #[derive(Debug, Default)]
 pub struct CountingObserver {
     counts: [u64; 5],
+    faults: u64,
 }
 
 impl CountingObserver {
@@ -307,11 +356,42 @@ impl CountingObserver {
     pub fn count(&self, stage: PipelineStage) -> u64 {
         self.counts[stage.index()]
     }
+
+    /// Number of fault/recovery events observed.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
 }
 
 impl PipelineObserver for CountingObserver {
     fn on_stage(&mut self, _now: SimTime, stage: PipelineStage, _dev: DeviceId, _cid: Cid) {
         self.counts[stage.index()] += 1;
+    }
+
+    fn on_fault(&mut self, _now: SimTime, _event: &FaultTraceEvent) {
+        self.faults += 1;
+    }
+}
+
+/// A [`PipelineObserver`] that records every fault/recovery event with
+/// its timestamp — the assertion surface for fault-scenario tests.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    events: Vec<(SimTime, FaultTraceEvent)>,
+}
+
+impl FaultLog {
+    /// All recorded events, in observation order.
+    pub fn events(&self) -> &[(SimTime, FaultTraceEvent)] {
+        &self.events
+    }
+}
+
+impl PipelineObserver for FaultLog {
+    fn on_stage(&mut self, _now: SimTime, _stage: PipelineStage, _dev: DeviceId, _cid: Cid) {}
+
+    fn on_fault(&mut self, now: SimTime, event: &FaultTraceEvent) {
+        self.events.push((now, event.clone()));
     }
 }
 

@@ -20,7 +20,8 @@
 
 use crate::config::{SchemeKind, TestbedConfig};
 use crate::schemes::{
-    self, BuildCtx, Effect, PipelineObserver, PipelineStage, Scheme, SchemeCtx, Stage,
+    self, BuildCtx, Effect, FaultTraceEvent, PipelineObserver, PipelineStage, Scheme, SchemeCtx,
+    Stage,
 };
 use crate::types::{BufferId, Client, ClientId, Completion, DeviceId, IoOp, IoRequest};
 use bm_baselines::vfio::VfioCosts;
@@ -34,6 +35,7 @@ use bm_nvme::types::{Cid, Nsid};
 use bm_nvme::Status;
 use bm_pcie::mctp::Eid;
 use bm_pcie::{HostMemory, PciAddr};
+use bm_sim::faults::FaultKind;
 use bm_sim::resource::FifoServer;
 use bm_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
 use bm_ssd::firmware::CommitAction;
@@ -265,6 +267,17 @@ enum ClientCall {
     Timer,
 }
 
+/// Link-level fault state the world interprets itself (SSD-level faults
+/// live inside the device models). Defaults are inert: `link_until` in
+/// the past defers nothing, zero `mctp_drops` drops nothing.
+#[derive(Default)]
+struct FaultRuntime {
+    /// Bus crossings before this instant are deferred to it.
+    link_until: SimTime,
+    /// Number of upcoming MCTP packets the management link will eat.
+    mctp_drops: u32,
+}
+
 /// The world: testbed + clients, driven by [`World::run`].
 pub struct World {
     /// The composed testbed.
@@ -275,6 +288,7 @@ pub struct World {
     mgmt_responses: Rc<RefCell<Vec<(SimTime, MiResponse)>>>,
     next_mgmt_tag: u8,
     observer: Option<Rc<RefCell<dyn PipelineObserver>>>,
+    faults: FaultRuntime,
 }
 
 impl World {
@@ -288,6 +302,7 @@ impl World {
             mgmt_responses: Rc::new(RefCell::new(Vec::new())),
             next_mgmt_tag: 0,
             observer: None,
+            faults: FaultRuntime::default(),
         }
     }
 
@@ -301,6 +316,12 @@ impl World {
     fn observe(&self, now: SimTime, stage: PipelineStage, dev: DeviceId, cid: Cid) {
         if let Some(obs) = &self.observer {
             obs.borrow_mut().on_stage(now, stage, dev, cid);
+        }
+    }
+
+    fn observe_fault(&self, now: SimTime, event: &FaultTraceEvent) {
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_fault(now, event);
         }
     }
 
@@ -338,10 +359,16 @@ impl World {
         let ids: Vec<ClientId> = (0..self.clients.len()).map(ClientId).collect();
         let mgmt = std::mem::take(&mut self.pending_mgmt);
         let raw = std::mem::take(&mut self.pending_raw);
+        let plan: Vec<_> = self.tb.cfg.fault_plan.events().to_vec();
         let mut sim = Simulation::new(self);
         for id in ids {
             sim.schedule_at(SimTime::ZERO, move |w: &mut World, s| {
                 w.call_client(s, id, ClientCall::Start);
+            });
+        }
+        for ev in plan {
+            sim.schedule_at(ev.at, move |w: &mut World, s| {
+                w.apply_fault(s, ev.kind);
             });
         }
         for (at, cmd) in mgmt {
@@ -495,15 +522,39 @@ impl World {
         }
     }
 
+    /// A bus crossing scheduled inside a PCIe link-retrain window is
+    /// deferred to the window's end (and the deferral is observable).
+    /// Inert when no retrain is active: `link_until` defaults to time
+    /// zero, which nothing precedes.
+    fn defer_past_retrain(&self, s: &Scheduler<World>, at: SimTime) -> SimTime {
+        if at < self.faults.link_until {
+            let until = self.faults.link_until;
+            self.observe_fault(s.now(), &FaultTraceEvent::LinkDeferred { until });
+            until
+        } else {
+            at
+        }
+    }
+
     /// The generic interpreter: one typed effect, one event-loop rule.
     fn apply_effect(&mut self, s: &mut Scheduler<World>, effect: Effect) {
         match effect {
             Effect::ScheduleAt { at, stage } => {
+                // Doorbell MMIO writes cross the PCIe link; completions
+                // and internal engine timers do not.
+                let at = match stage {
+                    Stage::Doorbell { .. }
+                    | Stage::Forward { .. }
+                    | Stage::EngineDoorbell { .. }
+                    | Stage::EngineBackendDoorbell { .. } => self.defer_past_retrain(s, at),
+                    _ => at,
+                };
                 s.schedule_at(at, move |w: &mut World, s| {
                     w.run_stage(s, stage);
                 });
             }
             Effect::ForwardToSsd { at, ssd, qid, tail } => {
+                let at = self.defer_past_retrain(s, at);
                 s.schedule_at(at, move |w: &mut World, s| {
                     let completions =
                         w.tb.ssds[ssd].ring_sq_doorbell(s.now(), qid, tail, &mut w.tb.host_mem);
@@ -521,6 +572,7 @@ impl World {
                 cid,
                 status,
             } => {
+                let at = self.defer_past_retrain(s, at);
                 // A mediator injecting at the current instant completes
                 // inline, in the same event (not behind queued peers).
                 if at <= s.now() {
@@ -543,7 +595,50 @@ impl World {
                 });
             }
             Effect::Trace { stage, dev, cid } => self.observe(s.now(), stage, dev, cid),
+            Effect::FaultTrace { event } => self.observe_fault(s.now(), &event),
         }
+    }
+
+    /// Injects one scheduled fault into its target layer.
+    fn apply_fault(&mut self, s: &mut Scheduler<World>, kind: FaultKind) {
+        let now = s.now();
+        match kind {
+            FaultKind::SsdLatencySpike { ssd, extra, until } => {
+                if let Some(dev) = self.tb.ssds.get_mut(ssd) {
+                    dev.inject_latency_spike(extra, until);
+                }
+            }
+            FaultKind::SsdStall { ssd, until } => {
+                if let Some(dev) = self.tb.ssds.get_mut(ssd) {
+                    dev.inject_stall(until);
+                }
+            }
+            FaultKind::SsdDeath { ssd } => {
+                if let Some(dev) = self.tb.ssds.get_mut(ssd) {
+                    dev.inject_death();
+                }
+            }
+            FaultKind::SsdErrorBurst {
+                ssd,
+                probability,
+                until,
+            } => {
+                let rng = self.tb.cfg.fault_plan.rng_for_ssd(ssd);
+                if let Some(dev) = self.tb.ssds.get_mut(ssd) {
+                    dev.inject_error_burst(probability, until, rng);
+                }
+            }
+            FaultKind::SsdDropCommands { ssd, count } => {
+                if let Some(dev) = self.tb.ssds.get_mut(ssd) {
+                    dev.inject_command_drops(count);
+                }
+            }
+            FaultKind::MctpDrop { count } => self.faults.mctp_drops += count,
+            FaultKind::LinkRetrain { until } => {
+                self.faults.link_until = self.faults.link_until.max(until);
+            }
+        }
+        self.observe_fault(now, &FaultTraceEvent::Injected(kind));
     }
 
     /// Interrupt arrives at the host/guest: consume the CQE, ack it
@@ -653,36 +748,68 @@ impl World {
 
     /// Sends one management command through the full MCTP → controller
     /// path and applies the resulting actions.
+    ///
+    /// The link may be eating packets ([`FaultKind::MctpDrop`]). A torn
+    /// message never reaches the protocol analyzer — the reassembler
+    /// holds (or rejects) the partial — so the console retransmits the
+    /// whole request with the same tag, up to three times. A fresh SOM
+    /// packet resets any stale partial, making the retransmit safe and
+    /// the command exactly-once.
     fn do_management(&mut self, s: &mut Scheduler<World>, cmd: BmsCommand) {
         let now = s.now();
         self.next_mgmt_tag = (self.next_mgmt_tag + 1) % 8;
         let tag = self.next_mgmt_tag;
-        let actions = {
-            let tb = &mut self.tb;
-            let Some(scheme) = tb.scheme.as_mut() else {
-                return;
-            };
-            let Some((engine, controller)) = scheme.bm_parts() else {
-                return;
-            };
-            let mut driver = AdminDriver {
-                ssds: &mut tb.ssds,
-                now,
-            };
-            let packets = request_packets(Eid(9), controller.eid(), tag, &cmd);
-            let mut actions = Vec::new();
-            for pkt in packets {
-                actions.extend(controller.on_packet(
+        const MAX_RETRANSMITS: u32 = 3;
+        let mut attempt = 0u32;
+        loop {
+            let mut dropped = 0u32;
+            let actions = {
+                let faults = &mut self.faults;
+                let tb = &mut self.tb;
+                let Some(scheme) = tb.scheme.as_mut() else {
+                    return;
+                };
+                let Some((engine, controller)) = scheme.bm_parts() else {
+                    return;
+                };
+                let mut driver = AdminDriver {
+                    ssds: &mut tb.ssds,
                     now,
-                    pkt,
-                    engine,
-                    &mut driver,
-                    &mut tb.host_mem,
-                ));
+                };
+                let packets = request_packets(Eid(9), controller.eid(), tag, &cmd);
+                let mut actions = Vec::new();
+                for pkt in packets {
+                    if faults.mctp_drops > 0 {
+                        faults.mctp_drops -= 1;
+                        dropped += 1;
+                        continue;
+                    }
+                    actions.extend(controller.on_packet(
+                        now,
+                        pkt,
+                        engine,
+                        &mut driver,
+                        &mut tb.host_mem,
+                    ));
+                }
+                actions
+            };
+            for _ in 0..dropped {
+                self.observe_fault(now, &FaultTraceEvent::MctpPacketDropped);
             }
-            actions
-        };
-        self.handle_controller_actions(s, actions);
+            if dropped == 0 {
+                self.handle_controller_actions(s, actions);
+                return;
+            }
+            // With ≥1 packet missing the message cannot have reassembled;
+            // whatever the torn attempt produced (at most a reassembly
+            // error) is discarded and the console resends.
+            if attempt >= MAX_RETRANSMITS {
+                return; // link declared dead for this command
+            }
+            attempt += 1;
+            self.observe_fault(now, &FaultTraceEvent::MctpRetransmit { attempt });
+        }
     }
 
     fn handle_controller_actions(
@@ -750,6 +877,10 @@ impl World {
             .with_profile(tb.cfg.ssd_profile.clone())
             .with_data_mode(tb.cfg.data_mode);
         let mut fresh = Ssd::new(cfg);
+        // Zombie adaptor slots (commands abandoned to the departed
+        // device) can never complete now — reclaim them — and the
+        // back-end rings restart from zero on both sides.
+        engine.on_ssd_replaced(SsdId(idx as u8));
         let (sq, cq) = engine.ssd_rings(SsdId(idx as u8));
         fresh.attach_io_queues(sq, cq);
         tb.ssds[idx] = fresh;

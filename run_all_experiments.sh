@@ -1,11 +1,27 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper (see DESIGN.md).
 # Pass --quick for a fast pass at reduced simulated windows.
+# Pass --faults to also run the fault-injection smoke (faults_smoke),
+# which drives every FaultPlan event kind through a live tenant run.
 # Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
 # single figure with a tree that is known-good).
 set -e
 if [ "${SKIP_CHECKS:-0}" != "1" ]; then
     sh "$(dirname "$0")/scripts/check.sh"
+fi
+with_faults=0
+figure_args=""
+for arg in "$@"; do
+    if [ "$arg" = "--faults" ]; then
+        with_faults=1
+    else
+        figure_args="$figure_args $arg"
+    fi
+done
+# shellcheck disable=SC2086 # word-splitting figure_args is intended
+set -- $figure_args
+if [ "$with_faults" = "1" ]; then
+    cargo run --release -q -p bm-bench --bin faults_smoke -- "$@"
 fi
 for bin in fig01_spdk_cores table02_fpga_resources fig08_baremetal \
            table06_os_matrix fig09_vm_perf fig10_scalability fig11_multivm \

@@ -13,6 +13,15 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> fault-scenario suite (release)"
+# The robustness contract under injected faults: hot-plug/hot-upgrade
+# transparency (tests/resilience.rs), the fault-aware conservation law,
+# and MCTP packet-loss recovery — re-run in release so the fault paths
+# are exercised at the same optimisation level as the experiments.
+cargo test --release -q --test resilience
+cargo test --release -q -p bm-testbed --test conservation
+cargo test --release -q -p bm-pcie --test packet_loss
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
