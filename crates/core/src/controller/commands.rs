@@ -77,6 +77,12 @@ pub enum BmsCommand {
         /// Target SSD.
         ssd: SsdId,
     },
+    /// Read `func`'s telemetry log page (counters, outstanding gauge,
+    /// latency buckets) for out-of-band monitoring.
+    QueryTelemetry {
+        /// Target front-end function.
+        func: FunctionId,
+    },
 }
 
 /// Decoding failures for vendor payloads.
@@ -112,6 +118,7 @@ impl BmsCommand {
             BmsCommand::HotPlugPrepare { .. } => 0xC6,
             BmsCommand::HotPlugComplete { .. } => 0xC7,
             BmsCommand::QueryVersion { .. } => 0xC8,
+            BmsCommand::QueryTelemetry { .. } => 0xC9,
         }
     }
 
@@ -128,7 +135,9 @@ impl BmsCommand {
                 p.extend_from_slice(&size_bytes.to_le_bytes());
                 p.push(single_ssd.map_or(PLACEMENT_RR, |s| s.0 + 1));
             }
-            BmsCommand::Unbind { func } | BmsCommand::QueryStats { func } => {
+            BmsCommand::Unbind { func }
+            | BmsCommand::QueryStats { func }
+            | BmsCommand::QueryTelemetry { func } => {
                 p.push(func.index());
             }
             BmsCommand::SetQos { func, iops, mbps } => {
@@ -224,6 +233,7 @@ impl BmsCommand {
             0xC8 => Ok(BmsCommand::QueryVersion {
                 ssd: SsdId(byte_at(0)?),
             }),
+            0xC9 => Ok(BmsCommand::QueryTelemetry { func: func_at(0)? }),
             other => Err(CommandError::UnknownVerb(other)),
         }
     }
@@ -271,6 +281,7 @@ mod tests {
             new: SsdId(3),
         });
         round_trip(BmsCommand::QueryVersion { ssd: SsdId(1) });
+        round_trip(BmsCommand::QueryTelemetry { func: f });
     }
 
     #[test]

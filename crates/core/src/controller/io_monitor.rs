@@ -8,6 +8,7 @@
 
 use crate::engine::counters::FunctionCounters;
 use crate::engine::BmsEngine;
+use bm_nvme::log_page::TelemetryLogPage;
 use bm_pcie::FunctionId;
 use bm_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -37,6 +38,7 @@ pub struct IoRates {
 pub struct IoMonitor {
     last: HashMap<u8, Snapshot>,
     polls: u64,
+    decode_failures: u64,
 }
 
 impl IoMonitor {
@@ -92,6 +94,33 @@ impl IoMonitor {
         out
     }
 
+    /// Reads `func`'s full register file (counters plus the monitoring
+    /// registers) and assembles the telemetry log page the controller
+    /// serves over NVMe-MI. Counts as an AXI poll.
+    pub fn log_page(
+        &mut self,
+        now: SimTime,
+        engine: &BmsEngine,
+        func: FunctionId,
+    ) -> TelemetryLogPage {
+        let (snap, _) = self.poll(now, engine, func);
+        let regs = engine.monitor_regs(func);
+        let c = snap.counters;
+        TelemetryLogPage {
+            function: func.index(),
+            reads: c.reads,
+            writes: c.writes,
+            read_bytes: c.read_bytes,
+            write_bytes: c.write_bytes,
+            errors: c.errors,
+            qos_deferred: c.qos_deferred,
+            total_latency_ns: regs.total_latency_ns,
+            outstanding: regs.outstanding,
+            peak_outstanding: regs.peak_outstanding,
+            latency_buckets: regs.latency_buckets,
+        }
+    }
+
     /// Parses a QueryStats response payload.
     pub fn decode_counters(p: &[u8]) -> Option<FunctionCounters> {
         if p.len() < 48 {
@@ -108,9 +137,38 @@ impl IoMonitor {
         })
     }
 
+    /// Like [`IoMonitor::decode_counters`], but records failures in the
+    /// monitor's decode-failure counter instead of swallowing them —
+    /// the console-side scrape path uses this so truncated or corrupted
+    /// response frames are observable rather than silent `None`s.
+    pub fn decode_counters_tracked(&mut self, p: &[u8]) -> Option<FunctionCounters> {
+        let decoded = Self::decode_counters(p);
+        if decoded.is_none() {
+            self.decode_failures += 1;
+        }
+        decoded
+    }
+
+    /// Like [`TelemetryLogPage::from_bytes`], but bumps the monitor's
+    /// decode-failure counter on malformed pages.
+    pub fn decode_log_page_tracked(&mut self, p: &[u8]) -> Option<TelemetryLogPage> {
+        match TelemetryLogPage::from_bytes(p) {
+            Ok(page) => Some(page),
+            Err(_) => {
+                self.decode_failures += 1;
+                None
+            }
+        }
+    }
+
     /// AXI reads performed so far.
     pub fn polls(&self) -> u64 {
         self.polls
+    }
+
+    /// Response payloads that failed to decode (short or corrupt).
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures
     }
 }
 
@@ -146,5 +204,31 @@ mod tests {
         let rates = rates.unwrap();
         assert_eq!(rates.read_iops, 0.0);
         assert_eq!(mon.polls(), 2);
+    }
+
+    #[test]
+    fn tracked_decode_counts_failures() {
+        let mut mon = IoMonitor::new();
+        let enc = IoMonitor::encode_counters(&FunctionCounters::default());
+        assert!(mon.decode_counters_tracked(&enc).is_some());
+        assert_eq!(mon.decode_failures(), 0);
+        assert!(mon.decode_counters_tracked(&enc[..40]).is_none());
+        assert!(mon.decode_log_page_tracked(&[0u8; 3]).is_none());
+        assert_eq!(mon.decode_failures(), 2);
+    }
+
+    #[test]
+    fn log_page_reflects_idle_registers() {
+        let engine = BmsEngine::new(EngineConfig::paper_default(2));
+        let mut mon = IoMonitor::new();
+        let f = FunctionId::new(1).unwrap();
+        let page = mon.log_page(SimTime::ZERO, &engine, f);
+        assert_eq!(page.function, 1);
+        assert_eq!(page.completions(), 0);
+        assert_eq!(page.outstanding, 0);
+        assert_eq!(mon.polls(), 1, "log page reads count as AXI polls");
+        // The page survives its wire round trip.
+        let back = TelemetryLogPage::from_bytes(&page.to_bytes()).unwrap();
+        assert_eq!(back, page);
     }
 }

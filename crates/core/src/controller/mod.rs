@@ -258,6 +258,10 @@ impl BmsController {
                     Vec::new(),
                 )
             }
+            BmsCommand::QueryTelemetry { func } => {
+                let page = self.monitor.log_page(now, engine, func);
+                (MiResponse::ok(page.to_bytes()), Vec::new())
+            }
             BmsCommand::HealthPoll { ssd } => {
                 let h = backend.health(ssd);
                 (MiResponse::ok(h.to_bytes().to_vec()), Vec::new())
@@ -537,6 +541,30 @@ mod tests {
         assert!(r1.status.is_success());
         let (r2, _) = send(&mut ctl, &mut engine, &mut backend, &mut host, cmd);
         assert_eq!(r2.status, MiStatus::Busy);
+    }
+
+    #[test]
+    fn telemetry_query_serves_log_page_over_mctp() {
+        let (mut ctl, mut engine, mut backend, mut host) = rig();
+        let func = FunctionId::new(2).unwrap();
+        let (resp, _) = send(
+            &mut ctl,
+            &mut engine,
+            &mut backend,
+            &mut host,
+            BmsCommand::QueryTelemetry { func },
+        );
+        assert!(resp.status.is_success());
+        let page = bm_nvme::log_page::TelemetryLogPage::from_bytes(&resp.payload).unwrap();
+        assert_eq!(page.function, 2);
+        assert_eq!(page.completions(), 0);
+        assert_eq!(page.outstanding, 0);
+        // A truncated copy of the same payload trips the tracked decoder.
+        assert!(ctl
+            .monitor_mut()
+            .decode_log_page_tracked(&resp.payload[..10])
+            .is_none());
+        assert_eq!(ctl.monitor().decode_failures(), 1);
     }
 
     #[test]

@@ -7,6 +7,56 @@
 //! the AXI bus.
 
 use bm_pcie::FunctionId;
+use bm_sim::SimDuration;
+
+/// Number of latency bucket registers per function.
+pub const LATENCY_BUCKETS: usize = 8;
+
+/// Upper bounds (µs, inclusive) of the first seven latency bucket
+/// registers; the eighth bucket is unbounded. Chosen to straddle the
+/// paper's reported device latencies (~100µs) with headroom for
+/// fault-induced tails.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; LATENCY_BUCKETS - 1] =
+    [10, 50, 100, 200, 500, 1_000, 5_000];
+
+/// One function's monitoring registers beyond the basic counters:
+/// outstanding-command gauge and a coarse latency bucket array, latched
+/// by the engine at command completion (fetch → CQE posted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorRegs {
+    /// Commands currently inside the engine pipeline.
+    pub outstanding: u32,
+    /// High-water mark of `outstanding`.
+    pub peak_outstanding: u32,
+    /// Completion counts by engine-observed latency; see
+    /// [`LATENCY_BUCKET_BOUNDS_US`].
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Sum of engine-observed latencies, nanoseconds.
+    pub total_latency_ns: u64,
+}
+
+impl MonitorRegs {
+    /// The bucket index a latency of `nanos` lands in.
+    pub fn bucket_for(nanos: u64) -> usize {
+        let us = nanos / 1_000;
+        LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS - 1)
+    }
+
+    /// Completions latched into the buckets.
+    pub fn completions(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Mean engine-observed latency in nanoseconds (zero if idle).
+    pub fn mean_latency_ns(&self) -> u64 {
+        self.total_latency_ns
+            .checked_div(self.completions())
+            .unwrap_or(0)
+    }
+}
 
 /// One function's counters (one "register file" in the RTL).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,6 +91,7 @@ impl FunctionCounters {
 #[derive(Debug, Clone)]
 pub struct IoCounters {
     per_function: Vec<FunctionCounters>,
+    regs: Vec<MonitorRegs>,
 }
 
 impl IoCounters {
@@ -48,7 +99,44 @@ impl IoCounters {
     pub fn new(functions: usize) -> Self {
         IoCounters {
             per_function: vec![FunctionCounters::default(); functions],
+            regs: vec![MonitorRegs::default(); functions],
         }
+    }
+
+    /// A command entered the engine pipeline: bump the outstanding gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is outside the bank.
+    pub fn command_started(&mut self, func: FunctionId) {
+        let r = &mut self.regs[func.index() as usize];
+        r.outstanding += 1;
+        r.peak_outstanding = r.peak_outstanding.max(r.outstanding);
+    }
+
+    /// A command left the pipeline: drop the gauge and latch its
+    /// engine-observed latency into the bucket registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is outside the bank or the gauge underflows.
+    pub fn command_finished(&mut self, func: FunctionId, latency: SimDuration) {
+        let r = &mut self.regs[func.index() as usize];
+        r.outstanding = r
+            .outstanding
+            .checked_sub(1)
+            .expect("outstanding gauge underflow");
+        let ns = latency.as_nanos();
+        r.latency_buckets[MonitorRegs::bucket_for(ns)] += 1;
+        r.total_latency_ns += ns;
+    }
+
+    /// Reads one function's monitoring registers.
+    pub fn regs(&self, func: FunctionId) -> MonitorRegs {
+        self.regs
+            .get(func.index() as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Records a completed command.
@@ -142,5 +230,35 @@ mod tests {
     fn out_of_bank_reads_are_zero() {
         let c = IoCounters::new(2);
         assert_eq!(c.function(f(100)), FunctionCounters::default());
+        assert_eq!(c.regs(f(100)), MonitorRegs::default());
+    }
+
+    #[test]
+    fn monitor_regs_track_outstanding_and_buckets() {
+        let mut c = IoCounters::new(2);
+        c.command_started(f(0));
+        c.command_started(f(0));
+        assert_eq!(c.regs(f(0)).outstanding, 2);
+        assert_eq!(c.regs(f(0)).peak_outstanding, 2);
+        c.command_finished(f(0), SimDuration::from_us(90));
+        c.command_finished(f(0), SimDuration::from_us(700));
+        let r = c.regs(f(0));
+        assert_eq!(r.outstanding, 0);
+        assert_eq!(r.peak_outstanding, 2);
+        assert_eq!(r.completions(), 2);
+        assert_eq!(r.latency_buckets[2], 1, "90µs lands in the ≤100µs bucket");
+        assert_eq!(r.latency_buckets[5], 1, "700µs lands in the ≤1000µs bucket");
+        assert_eq!(r.mean_latency_ns(), (90_000 + 700_000) / 2);
+        // The other function's registers are untouched.
+        assert_eq!(c.regs(f(1)), MonitorRegs::default());
+    }
+
+    #[test]
+    fn bucket_bounds_cover_extremes() {
+        assert_eq!(MonitorRegs::bucket_for(0), 0);
+        // Sub-microsecond remainders truncate: 10.9µs still counts ≤10µs.
+        assert_eq!(MonitorRegs::bucket_for(10_999), 0);
+        assert_eq!(MonitorRegs::bucket_for(11_000), 1);
+        assert_eq!(MonitorRegs::bucket_for(u64::MAX), LATENCY_BUCKETS - 1);
     }
 }

@@ -13,6 +13,7 @@ use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
 use bm_nvme::types::{Cid, QueueId};
 use bm_nvme::Cqe;
 use bm_pcie::{DmaContext, FunctionId, HostMemory, PciAddr};
+use bm_sim::telemetry::CmdId;
 use bm_sim::SimTime;
 use bm_ssd::SsdId;
 use std::fmt;
@@ -32,10 +33,15 @@ pub struct Outstanding {
     pub is_write: bool,
     /// When the engine fetched the command from the host.
     pub fetched_at: SimTime,
+    /// When this forwarding attempt was pushed into the back-end ring
+    /// (span start of the DMA-routing stage).
+    pub pushed_at: SimTime,
     /// Engine-wide monotonic sequence number of this forwarding
     /// attempt. A retry of the same host command gets a fresh number,
     /// so the timeout machinery can tell attempts apart.
     pub seq: u64,
+    /// Telemetry correlation ID ([`CmdId::NONE`] when telemetry is off).
+    pub cmd: CmdId,
 }
 
 /// One SSD's back-end port.
@@ -220,6 +226,14 @@ impl BackEndPort {
         (out, self.cq.head() as u32)
     }
 
+    /// The origin of an in-flight back-end CID, if the slot is live
+    /// (`None` for free or zombie slots).
+    pub fn origin_of(&self, cid: Cid) -> Option<&Outstanding> {
+        self.outstanding
+            .get(cid.0 as usize)
+            .and_then(|o| o.as_ref())
+    }
+
     /// Abandons an in-flight command (timeout machinery): the origin is
     /// handed back to the caller for retry or abort, and the CID slot
     /// becomes a zombie — unusable until its stale completion arrives
@@ -327,7 +341,9 @@ mod tests {
             bytes: 4096,
             is_write: false,
             fetched_at: SimTime::ZERO,
+            pushed_at: SimTime::ZERO,
             seq: i as u64,
+            cmd: CmdId::NONE,
         }
     }
 

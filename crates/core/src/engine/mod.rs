@@ -42,6 +42,7 @@ use bm_nvme::{Cqe, Status};
 use bm_pcie::memory::PAGE_SIZE;
 use bm_pcie::{FunctionId, HostMemory, PciAddr, SriovConfig};
 use bm_sim::resource::BandwidthLink;
+use bm_sim::telemetry::{CmdId, TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::SsdId;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -326,6 +327,8 @@ struct PendingIo {
     orig_blocks: u32,
     /// Timed-out forwarding attempts so far (timeout machinery).
     retries: u32,
+    /// Telemetry correlation ID ([`CmdId::NONE`] when telemetry is off).
+    cmd: CmdId,
 }
 
 /// Heap entry for QoS releases.
@@ -395,6 +398,21 @@ pub struct BmsEngine {
     /// Recovery actions not yet drained by the harness.
     recovery_log: Vec<RecoveryEvent>,
     resilience: ResilienceStats,
+    /// Span/event recorder shared with the testbed (disabled by default;
+    /// every call is then a no-op, keeping the pipeline byte-identical).
+    telemetry: TelemetryHandle,
+}
+
+/// Reconstructs the NVMe opcode byte of an [`Outstanding`] origin from
+/// its direction and size (the origin table doesn't keep the full SQE).
+fn origin_opcode(origin: &Outstanding) -> u8 {
+    if origin.bytes == 0 {
+        IoOpcode::Flush.code()
+    } else if origin.is_write {
+        IoOpcode::Write.code()
+    } else {
+        IoOpcode::Read.code()
+    }
 }
 
 /// Retry bookkeeping for one in-flight forwarding attempt.
@@ -453,8 +471,16 @@ impl BmsEngine {
             pending_retry: HashMap::new(),
             recovery_log: Vec::new(),
             resilience: ResilienceStats::default(),
+            telemetry: TelemetryHandle::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a telemetry recorder; the engine records per-stage spans
+    /// (fetch, translate, QoS, DMA, completion) against the [`CmdId`]s
+    /// the submitter opened.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// The configuration.
@@ -470,6 +496,46 @@ impl BmsEngine {
     /// The I/O counter bank (read by the BMS-Controller over AXI).
     pub fn counters(&self) -> &IoCounters {
         &self.counters
+    }
+
+    /// One function's monitoring registers (outstanding gauge + latency
+    /// buckets) — the AXI read the controller's log-page path does.
+    pub fn monitor_regs(&self, func: FunctionId) -> counters::MonitorRegs {
+        self.counters.regs(func)
+    }
+
+    /// Records the back-end device-service span of an in-flight
+    /// forwarded command. The harness calls this when the SSD reports a
+    /// completion — the engine itself only sees the doorbell and CQE
+    /// endpoints, not the device-internal service interval. A no-op
+    /// when telemetry is off, the slot is free, or the slot is a zombie
+    /// (stale completion of an abandoned command).
+    pub fn record_backend_span(
+        &self,
+        ssd: SsdId,
+        backend_cid: Cid,
+        start: SimTime,
+        end: SimTime,
+        ok: bool,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let Some(origin) = self.adaptor.port(ssd).origin_of(backend_cid) else {
+            return;
+        };
+        if origin.cmd.is_some() {
+            self.telemetry.span(
+                origin.cmd,
+                origin.func.index() as u16,
+                origin.func.index(),
+                origin_opcode(origin),
+                TelemetryStage::Backend,
+                start,
+                end,
+                ok,
+            );
+        }
     }
 
     /// DMA routing statistics.
@@ -668,6 +734,22 @@ impl BmsEngine {
         };
         debug_assert_eq!(origin.seq, seq);
         self.resilience.timeouts += 1;
+        // The abandoned attempt's DMA window closes here, unsuccessfully;
+        // retry/abort events attach to the same owning command.
+        if origin.cmd.is_some() {
+            self.telemetry.span(
+                origin.cmd,
+                origin.func.index() as u16,
+                origin.func.index(),
+                origin_opcode(&origin),
+                TelemetryStage::Dma,
+                origin.pushed_at,
+                now,
+                false,
+            );
+        }
+        let tenant = origin.func.index() as u16;
+        let opcode = origin_opcode(&origin);
         let mut io = entry.io;
         if io.retries < self.cfg.max_retries {
             io.retries += 1;
@@ -676,6 +758,17 @@ impl BmsEngine {
                 ssd,
                 attempt: io.retries,
             });
+            if origin.cmd.is_some() {
+                self.telemetry.event(
+                    now,
+                    origin.cmd,
+                    tenant,
+                    opcode,
+                    TelemetryEventKind::Retry {
+                        attempt: io.retries,
+                    },
+                );
+            }
             self.enqueue_backend(now, ssd, io, host, &mut actions);
         } else {
             match self.cfg.fail_policy {
@@ -686,6 +779,17 @@ impl BmsEngine {
                         func: origin.func,
                         cid: origin.host_cid,
                     });
+                    if origin.cmd.is_some() {
+                        self.telemetry.event(
+                            now,
+                            origin.cmd,
+                            tenant,
+                            opcode,
+                            TelemetryEventKind::Mark {
+                                label: "timeout-abort",
+                            },
+                        );
+                    }
                     self.finish_origin(now, origin, Status::Aborted, &mut actions);
                 }
                 FailPolicy::QuiesceReplay => {
@@ -696,6 +800,17 @@ impl BmsEngine {
                         ssd,
                         buffered: self.backlog[ssd.0 as usize].len(),
                     });
+                    if origin.cmd.is_some() {
+                        self.telemetry.event(
+                            now,
+                            origin.cmd,
+                            tenant,
+                            opcode,
+                            TelemetryEventKind::Mark {
+                                label: "timeout-quiesce",
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -807,6 +922,21 @@ impl BmsEngine {
                     });
                 }
                 Opcode::Io(_) => {
+                    // Join the submitter's span tree: the doorbell →
+                    // SQE-fetched window is the SR-IOV layer's share.
+                    let (cmd, opcode) = self.telemetry.lookup(func.index() as u16, sqe.cid.0);
+                    if cmd.is_some() {
+                        self.telemetry.span(
+                            cmd,
+                            func.index() as u16,
+                            func.index(),
+                            opcode,
+                            TelemetryStage::Fetch,
+                            now,
+                            fetch_at,
+                            true,
+                        );
+                    }
                     self.handle_io(
                         fetch_at,
                         PendingIo {
@@ -819,6 +949,7 @@ impl BmsEngine {
                             sqe,
                             fetched_at: fetch_at,
                             retries: 0,
+                            cmd,
                         },
                         host,
                         &mut actions,
@@ -896,6 +1027,22 @@ impl BmsEngine {
         }
     }
 
+    /// Records one engine stage span for `io` (no-op without a CmdId).
+    fn tel_span(&self, io: &PendingIo, stage: TelemetryStage, start: SimTime, end: SimTime) {
+        if io.cmd.is_some() {
+            self.telemetry.span(
+                io.cmd,
+                io.func.index() as u16,
+                io.func.index(),
+                io.sqe.opcode.code(),
+                stage,
+                start,
+                end,
+                true,
+            );
+        }
+    }
+
     /// The target-controller I/O path: validate → QoS → map → rewrite →
     /// forward.
     fn handle_io(
@@ -936,6 +1083,15 @@ impl BmsEngine {
             });
             return;
         }
+        // The command is now inside the pipeline: gauge it and attribute
+        // the mapping/rewrite pipeline window to the Translate stage.
+        self.counters.command_started(io.func);
+        self.tel_span(
+            &io,
+            TelemetryStage::Translate,
+            now,
+            now + self.cfg.timing.pipeline,
+        );
         // QoS admission (flush bypasses QoS).
         if io.sqe.io_opcode() != Some(IoOpcode::Flush) {
             let binding = self.functions[idx].binding_mut().expect("validated");
@@ -943,6 +1099,7 @@ impl BmsEngine {
                 Admission::Immediate => {}
                 Admission::Deferred(at) => {
                     self.counters.record_deferred(io.func);
+                    self.tel_span(&io, TelemetryStage::Qos, now, at);
                     self.qos_seq += 1;
                     self.qos_heap.push(QosRelease {
                         at,
@@ -1113,7 +1270,9 @@ impl BmsEngine {
             bytes,
             is_write,
             fetched_at: io.fetched_at,
+            pushed_at: now,
             seq,
+            cmd: io.cmd,
         });
         if let Some(timeout) = self.cfg.command_timeout {
             self.pending_retry.insert(
@@ -1215,6 +1374,20 @@ impl BmsEngine {
             if !self.pending_retry.is_empty() {
                 self.pending_retry.remove(&origin.seq);
             }
+            // One DMA-routing span per forwarding attempt: push into the
+            // back-end ring → back-end completion observed.
+            if origin.cmd.is_some() {
+                self.telemetry.span(
+                    origin.cmd,
+                    origin.func.index() as u16,
+                    origin.func.index(),
+                    origin_opcode(&origin),
+                    TelemetryStage::Dma,
+                    origin.pushed_at,
+                    now,
+                    cqe.status.is_success(),
+                );
+            }
             self.finish_origin(now, origin, cqe.status, &mut actions);
         }
         // Freed slots: drain any backlog.
@@ -1261,6 +1434,23 @@ impl BmsEngine {
                 if let Some(link) = &mut self.copy_link {
                     at = at.max(link.transfer(now, origin.bytes) + self.cfg.timing.cqe_forward);
                 }
+            }
+            // Latch the engine-observed latency (fetch → CQE posted)
+            // into the monitoring registers, and close the pipeline's
+            // outstanding gauge.
+            self.counters
+                .command_finished(origin.func, at.saturating_since(origin.fetched_at));
+            if origin.cmd.is_some() {
+                self.telemetry.span(
+                    origin.cmd,
+                    origin.func.index() as u16,
+                    origin.func.index(),
+                    origin_opcode(&origin),
+                    TelemetryStage::Completion,
+                    now,
+                    at,
+                    final_status.is_success(),
+                );
             }
             actions.push(EngineAction::HostCompletion {
                 func: origin.func,
@@ -1624,6 +1814,7 @@ mod tests {
             orig_prp2: PciAddr::new(0x10_1000),
             orig_blocks: 16,
             retries: 0,
+            cmd: CmdId::NONE,
         };
         let spans = engine.split_spans(&io);
         assert_eq!(spans.len(), 2);

@@ -17,7 +17,10 @@
 //! * [`namespace`] — namespace geometry,
 //! * [`identify`] — identify-controller/namespace pages,
 //! * [`mi`] — the NVMe Management Interface command set carried over
-//!   MCTP to the BMS-Controller.
+//!   MCTP to the BMS-Controller,
+//! * [`log_page`] — the BM-Store vendor telemetry log page the
+//!   controller serves out-of-band (per-function counters, outstanding
+//!   gauge, latency buckets).
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 
 pub mod command;
 pub mod identify;
+pub mod log_page;
 pub mod mi;
 pub mod namespace;
 pub mod prp;

@@ -15,7 +15,10 @@
 //!   models are composed,
 //! * [`faults`] — a deterministic, seeded fault-event vocabulary
 //!   ([`faults::FaultPlan`]) interpreted by the testbed so any scheme
-//!   can run under SSD, MCTP and PCIe-link misbehaviour.
+//!   can run under SSD, MCTP and PCIe-link misbehaviour,
+//! * [`telemetry`] — a span/event recorder keyed by a [`telemetry::CmdId`]
+//!   correlation ID, with per-(tenant, function, opcode, stage) latency
+//!   aggregation and Chrome-trace/JSONL exporters.
 //!
 //! # Examples
 //!
@@ -38,9 +41,11 @@ pub mod faults;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use engine::{Scheduler, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::SimRng;
+pub use telemetry::{CmdId, TelemetryHandle};
 pub use time::{SimDuration, SimTime};

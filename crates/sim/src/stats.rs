@@ -95,7 +95,10 @@ impl LatencyHistogram {
         self.max = self.max.max(ns);
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Merging is how
+    /// per-tenant histograms roll up into fleet totals: counts, sums
+    /// and extremes all combine exactly, so percentiles of the merged
+    /// histogram carry the same ~3% bucket error as direct recording.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -140,13 +143,25 @@ impl LatencyHistogram {
 
     /// The value at quantile `q` in `[0, 1]` (zero if empty).
     ///
+    /// Edge quantiles are exact, not bucket-rounded: `percentile(0.0)`
+    /// returns [`min`](Self::min) and `percentile(1.0)` returns
+    /// [`max`](Self::max), since both extremes are tracked precisely.
+    /// Interior quantiles return the upper bound of the containing
+    /// bucket (within ~3% of the true value), clamped to `max`.
+    ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]` (including NaN).
     pub fn percentile(&self, q: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
         if self.count == 0 {
             return SimDuration::ZERO;
+        }
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
         }
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
@@ -359,6 +374,50 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), SimDuration::from_us(20));
         assert_eq!(a.max(), SimDuration::from_us(30));
+    }
+
+    #[test]
+    fn percentile_edges_are_exact() {
+        let mut h = LatencyHistogram::new();
+        // Values chosen so bucket upper bounds differ from the samples.
+        h.record(SimDuration::from_nanos(77_201));
+        h.record(SimDuration::from_nanos(1_000_003));
+        h.record(SimDuration::from_nanos(40_579_301));
+        assert_eq!(h.percentile(0.0), SimDuration::from_nanos(77_201));
+        assert_eq!(h.percentile(1.0), SimDuration::from_nanos(40_579_301));
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn percentile_rejects_out_of_range() {
+        LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn merged_rollup_preserves_edges_and_counts() {
+        // Per-tenant histograms roll up into a fleet view; the merged
+        // extremes and counts must be exact.
+        let mut fleet = LatencyHistogram::new();
+        let mut tenants = Vec::new();
+        for t in 1..=4u64 {
+            let mut h = LatencyHistogram::new();
+            for i in 0..10 {
+                h.record(SimDuration::from_us(t * 100 + i));
+            }
+            tenants.push(h);
+        }
+        for h in &tenants {
+            fleet.merge(h);
+        }
+        assert_eq!(fleet.count(), 40);
+        assert_eq!(fleet.percentile(0.0), SimDuration::from_us(100));
+        assert_eq!(fleet.percentile(1.0), SimDuration::from_us(409));
+        // Interior percentile stays within bucket error of the truth
+        // (the 20th of 40 samples is 209µs).
+        let p50 = fleet.percentile(0.5).as_nanos() as f64;
+        assert!((p50 - 209_000.0).abs() / 209_000.0 < 0.05, "p50 {p50}");
     }
 
     #[test]

@@ -95,6 +95,10 @@ impl SsdConfig {
 pub struct CompletedIo {
     /// When the command finishes inside the device.
     pub at: SimTime,
+    /// When the device started servicing it (the doorbell-driven fetch
+    /// that pulled the SQE). `at - submitted_at` is the device-internal
+    /// service interval telemetry reports as the back-end span.
+    pub submitted_at: SimTime,
     /// The queue the command arrived on.
     pub qid: QueueId,
     /// The command id to complete.
@@ -372,6 +376,7 @@ impl Ssd {
                     self.errors += 1;
                     out.push(CompletedIo {
                         at: now + SimDuration::from_us(1),
+                        submitted_at: now,
                         qid,
                         cid: Cid(0),
                         status,
@@ -407,6 +412,7 @@ impl Ssd {
         self.errors += 1;
         CompletedIo {
             at: now + SimDuration::from_us(2),
+            submitted_at: now,
             qid,
             cid,
             status,
@@ -444,6 +450,7 @@ impl Ssd {
         if op == IoOpcode::Flush {
             return CompletedIo {
                 at: self.perf.flush_completion(now),
+                submitted_at: now,
                 qid,
                 cid: sqe.cid,
                 status: Status::Success,
@@ -484,6 +491,7 @@ impl Ssd {
                 }
                 CompletedIo {
                     at: self.perf.write_completion(now, bytes),
+                    submitted_at: now,
                     qid,
                     cid: sqe.cid,
                     status: Status::Success,
@@ -524,6 +532,7 @@ impl Ssd {
                 };
                 CompletedIo {
                     at: self.perf.read_completion(now, bytes, sequential),
+                    submitted_at: now,
                     qid,
                     cid: sqe.cid,
                     status: Status::Success,
@@ -611,6 +620,7 @@ impl Ssd {
         }
         CompletedIo {
             at: now + admin_latency,
+            submitted_at: now,
             qid,
             cid: sqe.cid,
             status,

@@ -107,6 +107,11 @@ pub struct TestbedConfig {
     pub command_timeout: Option<SimDuration>,
     /// What the BM-Store engine does after exhausting timeout retries.
     pub engine_fail_policy: FailPolicy,
+    /// Enables the telemetry recorder (per-command spans, tenant
+    /// aggregation, trace export). Off by default: a disabled handle is
+    /// inert — no events are recorded and no state is touched — so
+    /// telemetry-off runs are bit-identical to builds without it.
+    pub telemetry: bool,
 }
 
 impl TestbedConfig {
@@ -127,6 +132,7 @@ impl TestbedConfig {
             fault_plan: FaultPlan::default(),
             command_timeout: None,
             engine_fail_policy: FailPolicy::AbortToHost,
+            telemetry: false,
         }
     }
 
@@ -187,6 +193,12 @@ impl TestbedConfig {
     pub fn with_command_timeout(mut self, timeout: SimDuration, policy: FailPolicy) -> Self {
         self.command_timeout = Some(timeout);
         self.engine_fail_policy = policy;
+        self
+    }
+
+    /// Enables the telemetry recorder.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 }

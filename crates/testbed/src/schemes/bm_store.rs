@@ -35,6 +35,7 @@ pub(crate) fn build(ctx: &mut BuildCtx, in_vm: bool) -> Box<dyn Scheme> {
         engine_cfg = engine_cfg.with_command_timeout(timeout, ctx.cfg.engine_fail_policy);
     }
     let mut engine = Box::new(BmsEngine::new(engine_cfg));
+    engine.set_telemetry(ctx.telemetry.clone());
     let controller = Box::new(BmsController::new(bm_pcie::mctp::Eid(8)));
     for (i, ssd) in ctx.ssds.iter_mut().enumerate() {
         let (sq, cq) = engine.ssd_rings(SsdId(i as u8));
@@ -170,6 +171,15 @@ impl Scheme for BmStoreScheme {
                     .collect()
             }
             Stage::EngineBackendComplete { ssd, io } => {
+                // Device-service span, recorded while the back-end CID
+                // still resolves to its origin (the drain below frees it).
+                self.engine.record_backend_span(
+                    ssd,
+                    io.cid,
+                    io.submitted_at,
+                    now,
+                    io.status.is_success(),
+                );
                 {
                     let mut router = self.engine.dma_router(ctx.host_mem);
                     Ssd::deliver_read_payload(&io, &mut router);

@@ -37,6 +37,7 @@ use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
 use bm_nvme::types::{Cid, Lba, QueueId};
 use bm_nvme::Status;
 use bm_pcie::{FunctionId, HostMemory};
+use bm_sim::telemetry::TelemetryHandle;
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::{CompletedIo, Ssd, SsdId};
 use bmstore_core::controller::BmsController;
@@ -54,6 +55,10 @@ pub(crate) struct BuildCtx<'a> {
     pub(crate) cpu: &'a mut CpuPool,
     pub(crate) ssds: &'a mut Vec<Ssd>,
     pub(crate) devices: &'a mut Vec<Device>,
+    /// The world's telemetry recorder handle (disabled unless
+    /// [`TestbedConfig::telemetry`] is set); schemes that record
+    /// per-stage spans clone it into their engine.
+    pub(crate) telemetry: &'a TelemetryHandle,
 }
 
 impl BuildCtx<'_> {

@@ -37,6 +37,7 @@ use bm_pcie::mctp::Eid;
 use bm_pcie::{HostMemory, PciAddr};
 use bm_sim::faults::FaultKind;
 use bm_sim::resource::FifoServer;
+use bm_sim::telemetry::{TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
 use bm_ssd::firmware::CommitAction;
 use bm_ssd::{Ssd, SsdConfig, SsdId};
@@ -112,6 +113,7 @@ pub struct Testbed {
     scheme: Option<Box<dyn Scheme>>,
     devices: Vec<Device>,
     buffers: Vec<PrpPair>,
+    telemetry: TelemetryHandle,
     #[allow(dead_code)]
     rng: SimRng,
 }
@@ -137,6 +139,11 @@ impl Testbed {
         let mut host_mem = HostMemory::new(8 << 30);
         let mut cpu = CpuPool::xeon_8163_dual();
         let mut devices = Vec::new();
+        let telemetry = if cfg.telemetry {
+            TelemetryHandle::enabled(bm_sim::telemetry::TelemetryRecorder::DEFAULT_CAPACITY)
+        } else {
+            TelemetryHandle::disabled()
+        };
         let scheme = {
             let mut ctx = BuildCtx {
                 cfg: &cfg,
@@ -144,6 +151,7 @@ impl Testbed {
                 cpu: &mut cpu,
                 ssds: &mut ssds,
                 devices: &mut devices,
+                telemetry: &telemetry,
             };
             match ctx.cfg.scheme.clone() {
                 SchemeKind::Native => schemes::native::build(&mut ctx),
@@ -158,6 +166,7 @@ impl Testbed {
             scheme: Some(scheme),
             devices,
             buffers: Vec::new(),
+            telemetry,
             rng: rng.fork(0xBEEF),
             host_mem,
             cpu,
@@ -209,6 +218,12 @@ impl Testbed {
     /// Panics if `buf` was not registered.
     pub fn buffer_addr(&self, buf: BufferId) -> PciAddr {
         self.buffers[buf.0].prp1
+    }
+
+    /// The telemetry recorder handle (disabled unless the config's
+    /// `telemetry` flag was set).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// Access to the BMS-Engine when running the BM-Store scheme.
@@ -496,6 +511,11 @@ impl World {
         );
         self.observe(now, PipelineStage::Submit, req.dev, cid);
         self.observe(now, PipelineStage::Translate, req.dev, cid);
+        // Open the root telemetry span; the scheme's stage spans hang
+        // off the CmdId this allocates. Inert when telemetry is off.
+        self.tb
+            .telemetry
+            .begin_command(now, req.dev.0 as u16, cid.0, sqe.opcode.code());
         let mut scheme = self.tb.scheme.take().expect("scheme present");
         let effects = scheme.submit(now, req.dev, &sqe, &self.tb.kernel);
         self.tb.scheme = Some(scheme);
@@ -509,6 +529,27 @@ impl World {
             Stage::Doorbell { dev, cid } => {
                 let tail = self.tb.devices[dev.0].sq.tail() as u32;
                 self.observe(now, PipelineStage::Doorbell, dev, cid);
+                if self.tb.telemetry.is_enabled() {
+                    // Host submission span: SQE push → doorbell ring.
+                    let (cmd, opcode) = self.tb.telemetry.lookup(dev.0 as u16, cid.0);
+                    if cmd.is_some() {
+                        let submitted = self.tb.devices[dev.0]
+                            .pending
+                            .get(&cid.0)
+                            .map(|p| p.submitted)
+                            .unwrap_or(now);
+                        self.tb.telemetry.span(
+                            cmd,
+                            dev.0 as u16,
+                            dev.0 as u8,
+                            opcode,
+                            TelemetryStage::Submit,
+                            submitted,
+                            now,
+                            true,
+                        );
+                    }
+                }
                 self.with_scheme(|scheme, ctx| scheme.on_doorbell(now, dev, tail, ctx))
             }
             other => self.with_scheme(|scheme, ctx| scheme.on_stage(now, other, ctx)),
@@ -639,6 +680,17 @@ impl World {
             }
         }
         self.observe_fault(now, &FaultTraceEvent::Injected(kind));
+        // Fault injections appear in the exported trace as instants, so
+        // latency excursions can be lined up with their cause.
+        self.tb.telemetry.event(
+            now,
+            bm_sim::telemetry::CmdId::NONE,
+            0,
+            0,
+            TelemetryEventKind::Mark {
+                label: "fault-injected",
+            },
+        );
     }
 
     /// Interrupt arrives at the host/guest: consume the CQE, ack it
@@ -717,6 +769,9 @@ impl World {
             dev.sq.retire();
         }
         self.observe(now, PipelineStage::Complete, dev_id, cid);
+        self.tb
+            .telemetry
+            .end_command(now, dev_id.0 as u16, cid.0, status.is_success());
         let completed = if self.tb.cfg.apply_plug_factor {
             let real = now.saturating_since(pending.submitted);
             pending.submitted

@@ -3,6 +3,9 @@
 # Pass --quick for a fast pass at reduced simulated windows.
 # Pass --faults to also run the fault-injection smoke (faults_smoke),
 # which drives every FaultPlan event kind through a live tenant run.
+# Pass --telemetry to also run the telemetry report (telemetry_report),
+# which prints the per-tenant/per-stage latency breakdown and the
+# out-of-band NVMe-MI scrape tables.
 # Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
 # single figure with a tree that is known-good).
 set -e
@@ -10,10 +13,13 @@ if [ "${SKIP_CHECKS:-0}" != "1" ]; then
     sh "$(dirname "$0")/scripts/check.sh"
 fi
 with_faults=0
+with_telemetry=0
 figure_args=""
 for arg in "$@"; do
     if [ "$arg" = "--faults" ]; then
         with_faults=1
+    elif [ "$arg" = "--telemetry" ]; then
+        with_telemetry=1
     else
         figure_args="$figure_args $arg"
     fi
@@ -22,6 +28,9 @@ done
 set -- $figure_args
 if [ "$with_faults" = "1" ]; then
     cargo run --release -q -p bm-bench --bin faults_smoke -- "$@"
+fi
+if [ "$with_telemetry" = "1" ]; then
+    cargo run --release -q -p bm-bench --bin telemetry_report -- "$@"
 fi
 for bin in fig01_spdk_cores table02_fpga_resources fig08_baremetal \
            table06_os_matrix fig09_vm_perf fig10_scalability fig11_multivm \

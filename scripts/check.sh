@@ -22,6 +22,12 @@ cargo test --release -q --test resilience
 cargo test --release -q -p bm-testbed --test conservation
 cargo test --release -q -p bm-pcie --test packet_loss
 
+echo "==> telemetry smoke (release)"
+# The observability contract: spans exported as a Chrome trace parse,
+# nest inside their command roots, and attribute an injected latency
+# spike to the stage (and tenant) that absorbed it.
+cargo run --release -q -p bm-bench --bin telemetry_smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
