@@ -14,6 +14,8 @@
 //!   ablation benches: the paper cites it reaching only ~68 % of native
 //!   throughput (§III-B).
 
+#![forbid(unsafe_code)]
+
 pub mod arm_offload;
 pub mod native;
 pub mod spdk;

@@ -6,6 +6,8 @@
 //! `BM_QUICK=1` environment variable) to shorten simulated windows, and
 //! prints a paper-vs-measured table.
 
+#![forbid(unsafe_code)]
+
 use bm_sim::SimDuration;
 use bm_workloads::fio::FioSpec;
 

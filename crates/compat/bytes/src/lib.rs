@@ -5,6 +5,8 @@
 //! index arithmetic; no payload bytes are copied after construction.
 //! Only the slice of the upstream API this workspace uses is present.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};

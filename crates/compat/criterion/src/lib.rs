@@ -7,6 +7,8 @@
 //! warm-up + timed-batch loop reporting the mean wall-clock time per
 //! iteration; there is no statistical analysis or HTML report.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -11,6 +11,8 @@
 //! deterministic case number; runs are reproducible because the RNG is
 //! seeded from the test's module path), and no persistence files.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     //! Value-generation strategies.
 

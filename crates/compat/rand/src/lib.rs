@@ -9,6 +9,8 @@
 //! unsigned integers. The bit streams are faithful to upstream so that
 //! seeded simulations reproduce the recorded experiment outputs.
 
+#![forbid(unsafe_code)]
+
 /// The core of a random number generator.
 pub trait RngCore {
     /// Returns the next random `u32`.

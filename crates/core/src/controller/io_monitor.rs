@@ -11,7 +11,7 @@ use crate::engine::BmsEngine;
 use bm_nvme::log_page::TelemetryLogPage;
 use bm_pcie::FunctionId;
 use bm_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One timestamped counter snapshot.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +36,7 @@ pub struct IoRates {
 /// The monitor: polls engine registers and serves queries.
 #[derive(Debug, Default)]
 pub struct IoMonitor {
-    last: HashMap<u8, Snapshot>,
+    last: BTreeMap<u8, Snapshot>,
     polls: u64,
     decode_failures: u64,
 }

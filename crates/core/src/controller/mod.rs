@@ -24,7 +24,7 @@ use bm_pcie::mctp::{Assembler, Eid, MctpMessage, MctpPacket, MessageType};
 use bm_pcie::HostMemory;
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::SsdId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The controller's access to physical SSD admin planes (implemented by
 /// the testbed over the real admin rings).
@@ -81,8 +81,8 @@ pub struct BmsController {
     eid: Eid,
     assembler: Assembler,
     monitor: IoMonitor,
-    upgrades: HashMap<u8, UpgradeState>,
-    hotplugs: HashMap<u8, HotPlugState>,
+    upgrades: BTreeMap<u8, UpgradeState>,
+    hotplugs: BTreeMap<u8, HotPlugState>,
     upgrade_reports: Vec<UpgradeReport>,
     hotplug_reports: Vec<HotPlugReport>,
     handled: u64,
@@ -104,8 +104,8 @@ impl BmsController {
             eid,
             assembler: Assembler::new(),
             monitor: IoMonitor::new(),
-            upgrades: HashMap::new(),
-            hotplugs: HashMap::new(),
+            upgrades: BTreeMap::new(),
+            hotplugs: BTreeMap::new(),
             upgrade_reports: Vec::new(),
             hotplug_reports: Vec::new(),
             handled: 0,

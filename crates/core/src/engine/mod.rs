@@ -45,7 +45,7 @@ use bm_sim::resource::BandwidthLink;
 use bm_sim::telemetry::{CmdId, TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::SsdId;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Per-stage latencies of the hardware pipeline.
 ///
@@ -386,7 +386,7 @@ pub struct BmsEngine {
     backlog: Vec<VecDeque<PendingIo>>,
     /// Host commands expanded into several back-end commands: counts
     /// down to zero, tracking the worst status seen.
-    fanout: HashMap<(u8, u16, u16), (u8, Status)>,
+    fanout: BTreeMap<(u8, u16, u16), (u8, Status)>,
     /// Present only in the store-and-forward ablation.
     copy_link: Option<BandwidthLink>,
     /// Monotonic id for forwarding attempts (also assigned with the
@@ -394,7 +394,7 @@ pub struct BmsEngine {
     cmd_seq: u64,
     /// Attempts whose deadline has not fired yet, keyed by `seq`.
     /// Populated only when [`EngineConfig::command_timeout`] is set.
-    pending_retry: HashMap<u64, RetryEntry>,
+    pending_retry: BTreeMap<u64, RetryEntry>,
     /// Recovery actions not yet drained by the harness.
     recovery_log: Vec<RecoveryEvent>,
     resilience: ResilienceStats,
@@ -465,10 +465,10 @@ impl BmsEngine {
             qos_seq: 0,
             paused: vec![false; cfg.ssd_count],
             backlog: (0..cfg.ssd_count).map(|_| VecDeque::new()).collect(),
-            fanout: HashMap::new(),
+            fanout: BTreeMap::new(),
             copy_link: cfg.store_and_forward_bw.map(BandwidthLink::new),
             cmd_seq: 0,
-            pending_retry: HashMap::new(),
+            pending_retry: BTreeMap::new(),
             recovery_log: Vec::new(),
             resilience: ResilienceStats::default(),
             telemetry: TelemetryHandle::disabled(),

@@ -13,6 +13,9 @@
 //!
 //! See `DESIGN.md` at the repository root for the experiment index.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod controller;
 pub mod engine;
 pub mod tco;

@@ -20,6 +20,8 @@
 //! assert!(k.submit_cost.as_micros_f64() < 5.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod kernel;
 pub mod vm;

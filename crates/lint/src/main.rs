@@ -1,0 +1,175 @@
+//! CLI for `bm-lint`.
+//!
+//! ```text
+//! bm-lint [check] [--root DIR] [--baseline PATH]   ratchet check (CI gate)
+//! bm-lint list [--root DIR]                        print every finding
+//! bm-lint tighten [--root DIR] [--baseline PATH]   rewrite the baseline floor
+//! bm-lint explain <rule>                           why the rule exists
+//! ```
+//!
+//! Exit codes: 0 ok, 1 ratchet regression, 2 usage or I/O error.
+
+use bm_lint::{baseline::Baseline, count_violations, find_root, ratchet, scan_workspace, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    rule: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: "check".to_string(),
+        root: None,
+        baseline: None,
+        rule: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut saw_command = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?))
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?))
+            }
+            "--explain" => {
+                args.command = "explain".to_string();
+                saw_command = true;
+                args.rule = Some(it.next().ok_or("--explain needs a rule id")?);
+            }
+            "check" | "list" | "tighten" | "explain" if !saw_command => {
+                args.command = a;
+                saw_command = true;
+            }
+            other if saw_command && args.command == "explain" && args.rule.is_none() => {
+                args.rule = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bm-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if args.command == "explain" {
+        let id = args.rule.as_deref().ok_or("explain needs a rule id")?;
+        let Some(rule) = Rule::from_id(id) else {
+            let ids: Vec<_> = Rule::ALL.iter().map(|r| r.id()).collect();
+            return Err(format!("unknown rule `{id}`; rules: {}", ids.join(", ")));
+        };
+        println!("{}", rule.explain());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match args.root {
+        Some(r) => r,
+        None => find_root(&cwd).ok_or("no workspace root found (use --root)")?,
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let scan = scan_workspace(&root).map_err(|e| format!("scan failed: {e}"))?;
+    let counts = count_violations(&scan.violations);
+
+    match args.command.as_str() {
+        "list" => {
+            for v in &scan.violations {
+                println!("{v}");
+            }
+            let total = scan.violations.len();
+            println!(
+                "bm-lint: {} finding{} across {} files",
+                total,
+                if total == 1 { "" } else { "s" },
+                scan.files
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "tighten" => {
+            let text = Baseline::serialize(&counts);
+            std::fs::write(&baseline_path, &text)
+                .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+            println!(
+                "bm-lint: baseline written to {} ({} findings)",
+                baseline_path.display(),
+                scan.violations.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+                format!(
+                    "cannot read baseline {} ({e}); run `bm-lint tighten` to create it",
+                    baseline_path.display()
+                )
+            })?;
+            let base =
+                Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+            let report = ratchet(&counts, &base);
+            if !report.ok() {
+                eprintln!("bm-lint: ratchet REGRESSION — new violations over the baseline:");
+                for d in &report.regressions {
+                    eprintln!(
+                        "  [{}] crate `{}`: {} findings (baseline allows {})",
+                        d.rule, d.crate_id, d.current, d.allowed
+                    );
+                }
+                eprintln!();
+                for v in &scan.violations {
+                    let regressed = report
+                        .regressions
+                        .iter()
+                        .any(|d| d.rule == v.rule.id() && d.crate_id == v.crate_id);
+                    if regressed {
+                        eprintln!("  {v}");
+                    }
+                }
+                eprintln!();
+                eprintln!(
+                    "fix the findings, or suppress a single site with a justified pragma:\n\
+                     `// bm-lint: allow(<rule>): <why this cannot break determinism>`\n\
+                     (`bm-lint explain <rule>` describes the failure mode)"
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+            if !report.improvements.is_empty() {
+                println!("bm-lint: debt paid down — the ratchet can be tightened:");
+                for d in &report.improvements {
+                    println!(
+                        "  [{}] crate `{}`: now {} (baseline {})",
+                        d.rule, d.crate_id, d.current, d.allowed
+                    );
+                }
+                println!(
+                    "run `cargo run --release -p bm-lint -- tighten` and commit the new floor"
+                );
+            }
+            println!(
+                "bm-lint: OK ({} findings across {} files, all within baseline)",
+                scan.violations.len(),
+                scan.files
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

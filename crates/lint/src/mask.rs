@@ -1,0 +1,257 @@
+//! Source masking: strip comments and literal contents from Rust source
+//! so the rule engine can match needles without false positives from
+//! strings, doc examples, or commented-out code.
+//!
+//! The masker is a single character-level pass that understands line
+//! comments, nested block comments, string literals (with escapes),
+//! raw strings (`r"…"`, `r#"…"#`, any number of `#`s, with optional `b`
+//! prefix), and char literals vs. lifetimes. Comment *text* is kept
+//! separately per line because `bm-lint` pragmas live in comments.
+
+/// One source line after masking.
+#[derive(Debug, Clone, Default)]
+pub struct MaskedLine {
+    /// The code with comments removed and literal contents blanked to
+    /// spaces (quotes are kept so the line stays visually parseable).
+    pub code: String,
+    /// Text of every comment that begins on this line.
+    pub comments: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`.
+    Str,
+    /// Inside a raw string; the payload is the number of `#`s.
+    RawStr(u32),
+}
+
+/// Masks `src` into per-line code + comment text.
+pub fn mask_source(src: &str) -> Vec<MaskedLine> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut lines: Vec<MaskedLine> = Vec::new();
+    let mut cur = MaskedLine::default();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut escaped = false;
+    let mut i = 0usize;
+
+    macro_rules! end_line {
+        () => {{
+            if !comment.is_empty() {
+                cur.comments.push(std::mem::take(&mut comment));
+            }
+            lines.push(std::mem::take(&mut cur));
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            match mode {
+                Mode::LineComment => {
+                    mode = Mode::Code;
+                    cur.comments.push(std::mem::take(&mut comment));
+                }
+                Mode::BlockComment(_) => {
+                    // Keep collecting into the same comment buffer, but
+                    // attribute the text gathered so far to this line.
+                    cur.comments.push(comment.clone());
+                    comment.clear();
+                }
+                _ => {}
+            }
+            end_line!();
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    escaped = false;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_start(&bytes, i) {
+                    // Emit the prefix so columns stay roughly aligned.
+                    cur.code.push_str("r\"");
+                    mode = Mode::RawStr(hashes.1);
+                    i = hashes.0;
+                } else if c == '\'' {
+                    // Char literal vs. lifetime.
+                    if bytes.get(i + 1) == Some(&'\\') {
+                        // '\x7f' / '\n' / '\'' — skip to closing quote.
+                        cur.code.push_str("' '");
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != '\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if bytes.get(i + 2) == Some(&'\'') && bytes.get(i + 1) != Some(&'\'') {
+                        cur.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        // A lifetime such as `'a` — keep the tick.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                        cur.comments.push(std::mem::take(&mut comment));
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if escaped {
+                    escaped = false;
+                    cur.code.push(' ');
+                } else if c == '\\' {
+                    escaped = true;
+                    cur.code.push(' ');
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    end_line!();
+    lines
+}
+
+/// If position `i` starts a raw-string literal (`r"`, `r#"`, `br##"`,
+/// …), returns `(index_after_opening_quote, hash_count)`.
+fn raw_string_start(bytes: &[char], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of an identifier (`for"` cannot occur,
+    // but `var"` style identifiers would fool a naive check).
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at position `i` closes a raw string with `hashes` `#`s.
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if bytes.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_and_keeps_text() {
+        let out = mask_source("let x = 1; // HashMap here\nlet y = 2;");
+        assert_eq!(out.len(), 2);
+        assert!(!out[0].code.contains("HashMap"));
+        assert_eq!(out[0].comments, vec![" HashMap here".to_string()]);
+        assert_eq!(out[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let out = mask_source(r#"let s = "Instant::now() { } \" quote";"#);
+        assert!(!out[0].code.contains("Instant"));
+        assert!(!out[0].code.contains('{'));
+        assert!(out[0].code.starts_with("let s = \""));
+        assert!(out[0].code.ends_with("\";"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let src = "let s = r#\"thread_rng \"inner\" }\"#; /* a /* nested */ HashMap */ fin();";
+        let out = mask_source(src);
+        assert!(!out[0].code.contains("thread_rng"));
+        assert!(!out[0].code.contains("HashMap"));
+        assert!(out[0].code.contains("fin();"));
+        assert_eq!(out[0].comments.len(), 1);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = mask_source("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }");
+        // The brace inside the char literal must not leak into code.
+        let opens = out[0].code.matches('{').count();
+        let closes = out[0].code.matches('}').count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+        assert!(out[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn multiline_block_comment_attributes_per_line() {
+        let out = mask_source("a();\n/* one\ntwo */ b();\nc();");
+        assert_eq!(out[1].comments, vec![" one".to_string()]);
+        assert!(out[2].code.contains("b();"));
+        assert_eq!(out[2].comments, vec!["two ".to_string()]);
+    }
+}

@@ -1,0 +1,675 @@
+//! The rule set: what `bm-lint` enforces and where.
+//!
+//! Every rule exists to protect one property of the discrete-event
+//! simulation: **same seed, same bytes**. See [`Rule::explain`] for the
+//! failure mode each rule guards against, in DES terms.
+
+use crate::mask::{mask_source, MaskedLine};
+
+/// Crates whose code is on the simulated data/control path. Iteration
+/// order, panics, and hidden nondeterminism in these crates change
+/// simulated *behaviour*, not just logging.
+pub const SIM_CRITICAL: &[&str] = &["sim", "core", "ssd", "pcie", "nvme", "testbed"];
+
+/// The rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no wall-clock reads outside `compat`/`bench`.
+    WallClock,
+    /// R2: no `HashMap`/`HashSet` in sim-critical crates.
+    IterOrder,
+    /// R3: no unseeded randomness anywhere outside `compat`.
+    UnseededRng,
+    /// R4: no `unwrap`/`expect`/`panic!` in sim-critical library code.
+    PanicPath,
+    /// R5: no `println!`-family output from library crates.
+    Println,
+    /// R6: no wildcard `_ =>` arms in matches over load-bearing enums.
+    WildcardArm,
+    /// A malformed or justification-less `bm-lint:` pragma.
+    BadPragma,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 7] = [
+        Rule::WallClock,
+        Rule::IterOrder,
+        Rule::UnseededRng,
+        Rule::PanicPath,
+        Rule::Println,
+        Rule::WildcardArm,
+        Rule::BadPragma,
+    ];
+
+    /// Stable string id (used in pragmas, baselines, and reports).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::IterOrder => "iter-order",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::PanicPath => "panic-path",
+            Rule::Println => "println",
+            Rule::WildcardArm => "wildcard-arm",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// Parses a rule id.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    /// Why the rule exists, in discrete-event-simulation terms.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "R1 wall-clock: `Instant::now()`/`SystemTime` read the host's clock. \
+                 Any value derived from wall time differs between runs, so a branch or \
+                 latency computed from it diverges from the seed-replay: two runs with \
+                 the same seed produce different event orders and different figures. \
+                 All time must come from `bm_sim::SimTime` handed down by the scheduler. \
+                 Exempt: `crates/compat` (vendored benchmarking shims) and `crates/bench` \
+                 (host-side harness reporting)."
+            }
+            Rule::IterOrder => {
+                "R2 iter-order: `HashMap`/`HashSet` iteration order depends on \
+                 `RandomState`'s per-process seed. If any sim-critical crate iterates \
+                 one — even to drain completions or roll up stats — event ordering \
+                 (or float summation order) changes run-to-run and seed replay breaks \
+                 byte-identically-reproduced figures (fig08/09/12). Use `BTreeMap`, \
+                 `BTreeSet`, an index-ordered `Vec`, or suppress with \
+                 `// bm-lint: allow(iter-order): <why order cannot leak>`."
+            }
+            Rule::UnseededRng => {
+                "R3 unseeded-rng: `thread_rng()`/`rand::random()`/`OsRng` draw entropy \
+                 from the OS. A single unseeded draw anywhere in the pipeline makes the \
+                 run unreproducible — fault plans, workload generators, and perturbation \
+                 models must derive from the run's root seed (`bm_sim::rng`)."
+            }
+            Rule::PanicPath => {
+                "R4 panic-path: `unwrap`/`expect`/`panic!` in sim-critical library code \
+                 turns a recoverable modelling bug into an abort that takes the whole \
+                 testbed (and every tenant's pending I/O) with it. The fault-injection \
+                 suite deliberately drives error paths; library code must return typed \
+                 errors or document the invariant with an assert at the boundary. \
+                 Existing debt is ratcheted by `lint-baseline.toml`: it may shrink, \
+                 never grow."
+            }
+            Rule::Println => {
+                "R5 println: direct stdout/stderr writes from library crates bypass the \
+                 telemetry layer, interleave nondeterministically with harness output, \
+                 and corrupt the byte-compared experiment tables. Record a telemetry \
+                 event or return the string to the caller; binaries, tests, and \
+                 examples may print."
+            }
+            Rule::WildcardArm => {
+                "R6 wildcard-arm: `Effect`, `FaultKind`, and `BmsCommand` are the \
+                 load-bearing enums of the scheme pipeline, the fault plan, and the \
+                 management plane. A `_ =>` arm in a match over them swallows every \
+                 future variant silently: a new fault kind injects nothing, a new \
+                 effect never executes, and the run *passes* while simulating the \
+                 wrong thing. Enumerate the variants so the compiler flags new ones."
+            }
+            Rule::BadPragma => {
+                "bad-pragma: a `// bm-lint: allow(<rule>)` suppression must carry a \
+                 justification (`// bm-lint: allow(iter-order): keys are replayed in \
+                 sorted order below`). A bare pragma, an unknown rule id, or malformed \
+                 syntax does not suppress anything and is itself a finding — silent \
+                 exemptions are how determinism discipline rots."
+            }
+        }
+    }
+}
+
+/// How a file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of the crate's library target.
+    Lib,
+    /// A binary target (`src/bin`, `src/main.rs`).
+    Bin,
+    /// An integration test (`tests/`).
+    Test,
+    /// An example (`examples/`).
+    Example,
+    /// A benchmark (`benches/`).
+    Bench,
+}
+
+/// Where a file lives, for rule applicability.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Crate directory name (`sim`, `core`, …, `compat` for vendored
+    /// subsets, `bmstore` for the root package).
+    pub crate_id: String,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+impl FileCtx {
+    /// Convenience constructor.
+    pub fn new(crate_id: &str, kind: FileKind) -> Self {
+        FileCtx {
+            crate_id: crate_id.to_string(),
+            kind,
+        }
+    }
+
+    fn sim_critical(&self) -> bool {
+        SIM_CRITICAL.contains(&self.crate_id.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule violated.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate the file belongs to (baseline bucket).
+    pub crate_id: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable detail (the needle that matched).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.detail
+        )
+    }
+}
+
+/// Whether `rule` applies at all to files with this context. Per-line
+/// test-region exclusion is handled separately.
+fn applies(rule: Rule, ctx: &FileCtx) -> bool {
+    match rule {
+        Rule::WallClock => ctx.crate_id != "compat" && ctx.crate_id != "bench",
+        Rule::IterOrder => ctx.sim_critical() && matches!(ctx.kind, FileKind::Lib | FileKind::Bin),
+        Rule::UnseededRng => ctx.crate_id != "compat",
+        Rule::PanicPath => ctx.sim_critical() && ctx.kind == FileKind::Lib,
+        Rule::Println => {
+            ctx.crate_id != "compat" && ctx.crate_id != "bench" && ctx.kind == FileKind::Lib
+        }
+        Rule::WildcardArm => {
+            ctx.crate_id != "compat" && matches!(ctx.kind, FileKind::Lib | FileKind::Bin)
+        }
+        Rule::BadPragma => true,
+    }
+}
+
+/// Whether `rule` also fires inside `#[cfg(test)]` regions and
+/// test-kind files. Determinism of the *model* matters even in tests
+/// for R1/R3 (a wall-clock seed makes a proptest unreproducible), but
+/// panics/collections in test assertions are fine.
+fn applies_in_tests(rule: Rule) -> bool {
+    matches!(rule, Rule::WallClock | Rule::UnseededRng | Rule::BadPragma)
+}
+
+/// Substring needles per rule, with the display name reported.
+fn needles(rule: Rule) -> &'static [(&'static str, &'static str)] {
+    match rule {
+        Rule::WallClock => &[
+            ("Instant::now", "wall-clock read via Instant::now()"),
+            ("SystemTime", "wall-clock type SystemTime"),
+        ],
+        Rule::IterOrder => &[
+            (
+                "HashMap",
+                "HashMap in sim-critical crate (iteration order is seeded per-process)",
+            ),
+            (
+                "HashSet",
+                "HashSet in sim-critical crate (iteration order is seeded per-process)",
+            ),
+        ],
+        Rule::UnseededRng => &[
+            ("thread_rng", "unseeded thread_rng()"),
+            ("rand::random", "unseeded rand::random()"),
+            ("from_entropy", "OS-entropy-seeded RNG"),
+            ("OsRng", "OS entropy source OsRng"),
+        ],
+        Rule::PanicPath => &[
+            (".unwrap()", "unwrap() on sim-critical library path"),
+            (".expect(", "expect() on sim-critical library path"),
+            ("panic!", "panic! on sim-critical library path"),
+        ],
+        Rule::Println => &[
+            ("eprintln!", "eprintln! in library code"),
+            ("println!", "println! in library code"),
+            ("eprint!", "eprint! in library code"),
+            ("print!", "print! in library code"),
+            ("dbg!", "dbg! in library code"),
+        ],
+        Rule::WildcardArm | Rule::BadPragma => &[],
+    }
+}
+
+/// A parsed `bm-lint: allow(...)` pragma occurrence.
+#[derive(Debug, Clone)]
+struct PragmaParse {
+    rule: String,
+    justified: bool,
+}
+
+/// Extracts pragmas from one comment string.
+///
+/// Only `bm-lint: allow(<rule-id>)` with a plausible rule id (lowercase
+/// letters and dashes) counts as a pragma; anything else — prose that
+/// merely mentions `bm-lint:`, or a `<rule>` placeholder in docs — is
+/// ignored rather than diagnosed, so documentation can describe the
+/// syntax without tripping the scanner.
+fn parse_pragmas(comment: &str) -> Vec<PragmaParse> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("bm-lint:") {
+        let after = &rest[pos + "bm-lint:".len()..];
+        rest = after;
+        let trimmed = after.trim_start();
+        let Some(args) = trimmed.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rule = args[..close].trim().to_string();
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+            continue;
+        }
+        let tail = args[close + 1..].trim_start();
+        let justified = tail
+            .strip_prefix(':')
+            .map(|j| !j.trim().is_empty())
+            .unwrap_or(false);
+        out.push(PragmaParse { rule, justified });
+        rest = &args[close + 1..];
+    }
+    out
+}
+
+/// Marks, per line, whether the line is inside a `#[cfg(test)]` block.
+///
+/// Heuristic: after seeing `#[cfg(test)]` in code, the next brace-block
+/// opened is the test region (this matches the workspace convention of
+/// `#[cfg(test)] mod tests { … }`).
+fn test_regions(lines: &[MaskedLine]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut region_floor: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if region_floor.is_some() || armed {
+            out[idx] = true;
+        }
+        if line.code.contains("cfg(test") {
+            armed = true;
+            out[idx] = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if armed && region_floor.is_none() {
+                        region_floor = Some(depth);
+                        armed = false;
+                    }
+                }
+                '}' => {
+                    if region_floor == Some(depth) {
+                        region_floor = None;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Match-expression context for R6.
+struct MatchCtx {
+    /// Brace depth of the arms (depth just inside the match's `{`).
+    arm_depth: i64,
+    /// Paren/bracket depth outside the match expression.
+    group_base: i64,
+    /// Whether the cursor is currently in an arm *pattern* (between
+    /// `{`/`,` and `=>` at arm depth).
+    in_pattern: bool,
+    /// Identifier tokens seen in the current arm pattern.
+    pat_tokens: u32,
+    /// The current pattern is (so far) a bare `_` — no other tokens,
+    /// no grouping, no alternatives, no guard.
+    pat_bare: bool,
+    /// A watched-enum path appeared in pattern position.
+    has_watched: bool,
+    /// Lines of bare `_ =>` arms.
+    wildcard_lines: Vec<usize>,
+}
+
+impl MatchCtx {
+    fn start_arm(&mut self) {
+        self.in_pattern = true;
+        self.pat_tokens = 0;
+        self.pat_bare = true;
+    }
+}
+
+const WATCHED_ENUMS: &[&str] = &["Effect", "FaultKind", "BmsCommand"];
+
+/// Detects bare wildcard `_ =>` arms in matches whose patterns name one
+/// of the load-bearing enums. Returns `(line, detail)` pairs.
+fn wildcard_arms(lines: &[MaskedLine], in_test: &[bool]) -> Vec<(usize, String)> {
+    let mut found = Vec::new();
+    let mut stack: Vec<MatchCtx> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut group: i64 = 0;
+    let mut pending_match = false;
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            // Reset any half-open scrutinee state; test matches are out
+            // of scope (asserting on a single variant is idiomatic).
+            pending_match = false;
+        }
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut ident = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let is_ident = c.is_alphanumeric() || c == '_' || c == ':';
+            if is_ident {
+                ident.push(c);
+                i += 1;
+                continue;
+            }
+            let word = std::mem::take(&mut ident);
+            flush_word(&word, &mut stack, depth, &mut pending_match, in_test[idx]);
+            let at_arm_level = stack
+                .last()
+                .map(|t| t.arm_depth == depth && t.group_base == group)
+                .unwrap_or(false);
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_match {
+                        let mut ctx = MatchCtx {
+                            arm_depth: depth,
+                            group_base: group,
+                            in_pattern: false,
+                            pat_tokens: 0,
+                            pat_bare: false,
+                            has_watched: false,
+                            wildcard_lines: Vec::new(),
+                        };
+                        ctx.start_arm();
+                        stack.push(ctx);
+                        pending_match = false;
+                    }
+                }
+                '}' => {
+                    if stack.last().map(|t| t.arm_depth == depth) == Some(true) {
+                        let ctx = stack.pop().expect("stack top checked above");
+                        if ctx.has_watched {
+                            for l in ctx.wildcard_lines {
+                                found.push((
+                                    l,
+                                    "wildcard `_ =>` arm in match over a load-bearing enum"
+                                        .to_string(),
+                                ));
+                            }
+                        }
+                    }
+                    depth -= 1;
+                }
+                '(' | '[' => {
+                    if at_arm_level {
+                        if let Some(top) = stack.last_mut() {
+                            if top.in_pattern {
+                                top.pat_bare = false;
+                            }
+                        }
+                    }
+                    group += 1;
+                }
+                ')' | ']' => group -= 1,
+                ',' if at_arm_level => {
+                    if let Some(top) = stack.last_mut() {
+                        top.start_arm();
+                    }
+                }
+                '|' | '&' | '@' if at_arm_level => {
+                    if let Some(top) = stack.last_mut() {
+                        if top.in_pattern {
+                            top.pat_bare = false;
+                        }
+                    }
+                }
+                '=' if chars.get(i + 1) == Some(&'>') => {
+                    if at_arm_level {
+                        if let Some(top) = stack.last_mut() {
+                            if top.in_pattern
+                                && top.pat_tokens == 1
+                                && top.pat_bare
+                                && !in_test[idx]
+                            {
+                                top.wildcard_lines.push(idx + 1);
+                            }
+                            top.in_pattern = false;
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let word = std::mem::take(&mut ident);
+        flush_word(&word, &mut stack, depth, &mut pending_match, in_test[idx]);
+    }
+    found
+}
+
+/// Processes one completed identifier-ish token for the R6 machine.
+fn flush_word(
+    word: &str,
+    stack: &mut [MatchCtx],
+    depth: i64,
+    pending_match: &mut bool,
+    in_test: bool,
+) {
+    if word.is_empty() {
+        return;
+    }
+    if word == "match" && !in_test {
+        *pending_match = true;
+        return;
+    }
+    if let Some(top) = stack.last_mut() {
+        if top.arm_depth == depth && top.in_pattern && !in_test {
+            top.pat_tokens += 1;
+            if word != "_" {
+                top.pat_bare = false;
+            }
+            let watched = WATCHED_ENUMS
+                .iter()
+                .any(|e| word.starts_with(&format!("{e}::")) || word.contains(&format!("::{e}::")));
+            if watched {
+                top.has_watched = true;
+            }
+        }
+    }
+}
+
+/// Scans one file's source, returning unsuppressed violations.
+///
+/// Suppression: a well-formed, justified pragma on the violation's line
+/// or on the line directly above it.
+pub fn scan_source(rel_path: &str, src: &str, ctx: &FileCtx) -> Vec<Violation> {
+    let lines = mask_source(src);
+    let in_test = test_regions(&lines);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    let mk = |rule: Rule, line: usize, detail: String| Violation {
+        rule,
+        path: rel_path.to_string(),
+        crate_id: ctx.crate_id.clone(),
+        line,
+        detail,
+    };
+
+    // Needle rules.
+    for rule in [
+        Rule::WallClock,
+        Rule::IterOrder,
+        Rule::UnseededRng,
+        Rule::PanicPath,
+        Rule::Println,
+    ] {
+        if !applies(rule, ctx) {
+            continue;
+        }
+        let in_test_files = matches!(
+            ctx.kind,
+            FileKind::Test | FileKind::Bench | FileKind::Example
+        );
+        for (idx, line) in lines.iter().enumerate() {
+            if (in_test[idx] || in_test_files) && !applies_in_tests(rule) {
+                continue;
+            }
+            for (needle, detail) in needles(rule) {
+                if line.code.contains(needle) {
+                    raw.push(mk(rule, idx + 1, (*detail).to_string()));
+                    break; // one finding per (rule, line)
+                }
+            }
+        }
+    }
+
+    // R6.
+    if applies(Rule::WildcardArm, ctx) {
+        for (line, detail) in wildcard_arms(&lines, &in_test) {
+            raw.push(mk(Rule::WildcardArm, line, detail));
+        }
+    }
+
+    // Pragmas: collect per line, emit bad-pragma findings.
+    let mut allows: Vec<(usize, String)> = Vec::new(); // justified allows
+    for (idx, line) in lines.iter().enumerate() {
+        for comment in &line.comments {
+            for p in parse_pragmas(comment) {
+                if Rule::from_id(&p.rule).is_none() {
+                    raw.push(mk(
+                        Rule::BadPragma,
+                        idx + 1,
+                        format!("pragma names unknown rule `{}`", p.rule),
+                    ));
+                } else if !p.justified {
+                    raw.push(mk(
+                        Rule::BadPragma,
+                        idx + 1,
+                        format!(
+                            "allow({0}) pragma has no justification \
+                             (write `bm-lint: allow({0}): <reason>`)",
+                            p.rule
+                        ),
+                    ));
+                } else {
+                    allows.push((idx + 1, p.rule));
+                }
+            }
+        }
+    }
+
+    raw.retain(|v| {
+        v.rule == Rule::BadPragma
+            || !allows
+                .iter()
+                .any(|(l, rule)| rule == v.rule.id() && (*l == v.line || *l + 1 == v.line))
+    });
+    raw.sort_by_key(|v| (v.line, v.rule));
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx() -> FileCtx {
+        FileCtx::new("core", FileKind::Lib)
+    }
+
+    #[test]
+    fn needles_in_comments_and_strings_do_not_fire() {
+        let src = "// HashMap in a comment\nlet s = \"Instant::now()\";\n";
+        assert!(scan_source("x.rs", src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_for_panic_rules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(scan_source("x.rs", src, &lib_ctx()).is_empty());
+        let src2 = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let v = scan_source("x.rs", src2, &lib_ctx());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::PanicPath);
+    }
+
+    #[test]
+    fn pragma_on_same_or_previous_line_suppresses() {
+        let src = "use std::collections::HashMap; // bm-lint: allow(iter-order): lookup-only\n";
+        assert!(scan_source("x.rs", src, &lib_ctx()).is_empty());
+        let src2 = "// bm-lint: allow(iter-order): lookup-only\nuse std::collections::HashMap;\n";
+        assert!(scan_source("x.rs", src2, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn unjustified_pragma_does_not_suppress() {
+        let src = "use std::collections::HashMap; // bm-lint: allow(iter-order)\n";
+        let v = scan_source("x.rs", src, &lib_ctx());
+        let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&Rule::IterOrder));
+        assert!(rules.contains(&Rule::BadPragma));
+    }
+
+    #[test]
+    fn wildcard_arm_only_for_watched_enums() {
+        let src = "fn f(e: Effect) -> u8 {\n    match e {\n        Effect::A => 1,\n        _ => 0,\n    }\n}\n";
+        let v = scan_source("x.rs", src, &FileCtx::new("testbed", FileKind::Lib));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::WildcardArm);
+        assert_eq!(v[0].line, 4);
+        let benign =
+            "fn f(x: u8) -> u8 {\n    match x {\n        1 => 1,\n        _ => 0,\n    }\n}\n";
+        assert!(scan_source("x.rs", benign, &FileCtx::new("testbed", FileKind::Lib)).is_empty());
+    }
+
+    #[test]
+    fn wildcard_in_nested_unwatched_match_is_clean() {
+        let src = "fn f(e: Effect, n: u8) -> u8 {\n    match e {\n        Effect::A => match n {\n            1 => 1,\n            _ => 0,\n        },\n        Effect::B => 2,\n    }\n}\n";
+        assert!(scan_source("x.rs", src, &FileCtx::new("testbed", FileKind::Lib)).is_empty());
+    }
+
+    #[test]
+    fn watched_enum_in_arm_body_does_not_mark_outer_match() {
+        let src = "fn f(x: u8) -> Effect {\n    match x {\n        1 => Effect::A,\n        _ => Effect::B,\n    }\n}\n";
+        assert!(scan_source("x.rs", src, &FileCtx::new("testbed", FileKind::Lib)).is_empty());
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+}

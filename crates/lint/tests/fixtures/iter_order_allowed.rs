@@ -1,0 +1,7 @@
+// R2 fixture: suppressed with a justified pragma.
+fn allowed() {
+    // bm-lint: allow(iter-order): keys are collected and sorted before any iteration below
+    let m: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut keys: Vec<_> = m.keys().collect();
+    keys.sort();
+}

@@ -1,0 +1,7 @@
+// R2 fixture: hash collections in a sim-critical crate.
+use std::collections::HashMap;
+
+struct S {
+    by_id: HashMap<u64, u32>,
+    seen: std::collections::HashSet<u64>,
+}

@@ -1,0 +1,7 @@
+// Negative fixture: needles in comments and strings must not fire.
+// A comment mentioning HashMap, Instant::now(), thread_rng and panic!.
+fn clean() -> &'static str {
+    let s = "HashMap + Instant::now() + println! + thread_rng()";
+    /* block comment: rand::random(), SystemTime, _ => swallowed */
+    s
+}

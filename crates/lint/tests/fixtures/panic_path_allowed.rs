@@ -1,0 +1,5 @@
+// R4 fixture: suppressed with a justified pragma.
+fn allowed(x: Option<u32>) -> u32 {
+    // bm-lint: allow(panic-path): constructor asserts x is Some before this point
+    x.expect("checked by constructor")
+}

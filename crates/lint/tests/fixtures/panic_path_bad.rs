@@ -1,0 +1,9 @@
+// R4 fixture: aborts in sim-critical library code.
+fn bad(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a != b {
+        panic!("impossible");
+    }
+    a
+}

@@ -1,0 +1,8 @@
+// bad-pragma fixture: pragmas that must not suppress anything.
+fn nope(x: Option<u32>) -> u32 {
+    // bm-lint: allow(panic-path)
+    let a = x.unwrap();
+    // bm-lint: allow(no-such-rule): justification present but rule unknown
+    let b = x.expect("present");
+    a + b
+}

@@ -1,0 +1,5 @@
+// R5 fixture: suppressed with a justified pragma.
+fn allowed(v: u64) {
+    // bm-lint: allow(println): documented CLI helper, only reachable from the binary target
+    println!("value = {v}");
+}

@@ -1,0 +1,5 @@
+// R5 fixture: direct output from library code.
+fn bad(v: u64) {
+    println!("value = {v}");
+    eprintln!("warning!");
+}

@@ -1,0 +1,6 @@
+// R3 fixture: suppressed with a justified pragma.
+fn allowed() -> u64 {
+    // bm-lint: allow(unseeded-rng): one-shot tool, output never compared across runs
+    let x: u64 = rand::random();
+    x
+}

@@ -1,0 +1,6 @@
+// R3 fixture: OS-entropy randomness.
+fn bad() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    x
+}

@@ -1,0 +1,6 @@
+// R1 fixture: suppressed with a justified pragma.
+fn allowed() -> std::time::Duration {
+    // bm-lint: allow(wall-clock): progress logging only, value never reaches the model
+    let t0 = Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,9 @@
+// R1 fixture: wall-clock reads in simulation code.
+use std::time::Instant;
+
+fn bad() -> u64 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    drop(wall);
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// R6 fixture: suppressed with a justified pragma.
+fn allowed(k: FaultKind) -> u32 {
+    match k {
+        FaultKind::SsdDeath => 1,
+        // bm-lint: allow(wildcard-arm): summary metric, every other kind intentionally counts as zero
+        _ => 0,
+    }
+}

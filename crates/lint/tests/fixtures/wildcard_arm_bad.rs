@@ -1,0 +1,7 @@
+// R6 fixture: a wildcard arm over a load-bearing enum.
+fn bad(e: Effect) -> u32 {
+    match e {
+        Effect::Complete { .. } => 1,
+        _ => 0,
+    }
+}

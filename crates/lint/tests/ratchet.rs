@@ -1,0 +1,167 @@
+//! End-to-end ratchet tests: the `bm-lint` binary is run against a
+//! synthetic mini-workspace, checking that a regression over the
+//! committed baseline exits nonzero, that an improvement passes (and is
+//! reported as tightenable), and that `tighten` records the new floor.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A throwaway workspace with one sim-critical crate.
+struct MiniWorkspace {
+    root: PathBuf,
+}
+
+impl MiniWorkspace {
+    fn new(tag: &str, sim_lib: &str) -> MiniWorkspace {
+        let root =
+            std::env::temp_dir().join(format!("bm-lint-ratchet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src = root.join("crates/sim/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(src.join("lib.rs"), sim_lib).unwrap();
+        MiniWorkspace { root }
+    }
+
+    fn write_baseline(&self, text: &str) -> PathBuf {
+        let path = self.root.join("lint-baseline.toml");
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    fn run(&self, args: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_bm-lint"))
+            .args(args)
+            .arg("--root")
+            .arg(&self.root)
+            .output()
+            .expect("bm-lint binary runs")
+    }
+}
+
+impl Drop for MiniWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const DIRTY_LIB: &str = "\
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+
+const CLEAN_LIB: &str = "\
+pub fn stamp(now_ns: u64) -> u64 {
+    now_ns
+}
+";
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn regression_over_baseline_fails_with_nonzero_exit() {
+    let ws = MiniWorkspace::new("regress", DIRTY_LIB);
+    ws.write_baseline("# clean\n");
+    let out = ws.run(&["check"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("REGRESSION"), "{err}");
+    assert!(err.contains("[wall-clock] crate `sim`"), "{err}");
+    assert!(err.contains("crates/sim/src/lib.rs:2"), "{err}");
+}
+
+#[test]
+fn findings_within_baseline_pass() {
+    let ws = MiniWorkspace::new("within", DIRTY_LIB);
+    ws.write_baseline("[wall-clock]\nsim = 1\n");
+    let out = ws.run(&["check"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("bm-lint: OK"), "{}", stdout(&out));
+}
+
+#[test]
+fn improvement_passes_and_reports_tightenable_floor() {
+    let ws = MiniWorkspace::new("improve", CLEAN_LIB);
+    ws.write_baseline("[wall-clock]\nsim = 3\n");
+    let out = ws.run(&["check"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("debt paid down"), "{text}");
+    assert!(
+        text.contains("[wall-clock] crate `sim`: now 0 (baseline 3)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn tighten_writes_the_new_floor_and_check_accepts_it() {
+    let ws = MiniWorkspace::new("tighten", DIRTY_LIB);
+    let out = ws.run(&["tighten"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let written = std::fs::read_to_string(ws.root.join("lint-baseline.toml")).unwrap();
+    assert!(written.contains("[wall-clock]"), "{written}");
+    assert!(written.contains("sim = 1"), "{written}");
+    // The freshly tightened floor passes, with no improvement slack left.
+    let out = ws.run(&["check"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("debt paid down"), "{}", stdout(&out));
+}
+
+#[test]
+fn missing_baseline_is_a_usage_error() {
+    let ws = MiniWorkspace::new("nobase", CLEAN_LIB);
+    let out = ws.run(&["check"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("tighten"), "{}", stderr(&out));
+}
+
+#[test]
+fn malformed_baseline_is_rejected() {
+    let ws = MiniWorkspace::new("badbase", CLEAN_LIB);
+    ws.write_baseline("[no-such-rule]\nsim = 1\n");
+    let out = ws.run(&["check"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn explain_prints_the_failure_mode() {
+    let ws = MiniWorkspace::new("explain", CLEAN_LIB);
+    let out = ws.run(&["explain", "iter-order"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(!stdout(&out).trim().is_empty());
+    let out = ws.run(&["explain", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The real tree must keep the headline invariant of this PR: zero hash
+/// collections in sim-critical crates — fixed, not baselined.
+#[test]
+fn real_workspace_has_zero_iter_order_debt() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.parent().unwrap().parent().unwrap();
+    let scan = bm_lint::scan_workspace(root).unwrap();
+    let iter_order: Vec<_> = scan
+        .violations
+        .iter()
+        .filter(|v| v.rule == bm_lint::Rule::IterOrder)
+        .collect();
+    assert!(iter_order.is_empty(), "{iter_order:#?}");
+
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap();
+    let base = bm_lint::baseline::Baseline::parse(&baseline_text).unwrap();
+    for crate_id in bm_lint::SIM_CRITICAL {
+        assert_eq!(
+            base.allowed("iter-order", crate_id),
+            0,
+            "baseline must pin iter-order to zero for `{crate_id}`"
+        );
+    }
+    assert!(bm_lint::ratchet(&bm_lint::count_violations(&scan.violations), &base).ok());
+}

@@ -1,0 +1,170 @@
+//! Fixture-driven rule tests: each known-bad snippet must produce the
+//! exact rule id at the exact line, and each pragma-suppressed variant
+//! must produce nothing.
+
+use bm_lint::{scan_source, FileCtx, FileKind, Rule, Violation};
+
+fn scan_fixture(name: &str, ctx: &FileCtx) -> Vec<Violation> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"));
+    scan_source(name, &src, ctx)
+}
+
+fn lib(crate_id: &str) -> FileCtx {
+    FileCtx::new(crate_id, FileKind::Lib)
+}
+
+fn hits(vs: &[Violation]) -> Vec<(&'static str, usize)> {
+    vs.iter().map(|v| (v.rule.id(), v.line)).collect()
+}
+
+#[test]
+fn wall_clock_bad_fires_at_exact_lines() {
+    let vs = scan_fixture("wall_clock_bad.rs", &lib("core"));
+    assert_eq!(
+        hits(&vs),
+        vec![("wall-clock", 5), ("wall-clock", 6)],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn wall_clock_pragma_suppresses() {
+    let vs = scan_fixture("wall_clock_allowed.rs", &lib("core"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn iter_order_bad_fires_at_exact_lines() {
+    let vs = scan_fixture("iter_order_bad.rs", &lib("ssd"));
+    assert_eq!(
+        hits(&vs),
+        vec![("iter-order", 2), ("iter-order", 5), ("iter-order", 6)],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn iter_order_only_applies_to_sim_critical_crates() {
+    // The same source is clean in a non-sim-critical crate…
+    let vs = scan_fixture("iter_order_bad.rs", &lib("workloads"));
+    assert!(vs.is_empty(), "{vs:#?}");
+    // …and in test targets of sim-critical crates.
+    let vs = scan_fixture("iter_order_bad.rs", &FileCtx::new("ssd", FileKind::Test));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn iter_order_pragma_suppresses() {
+    let vs = scan_fixture("iter_order_allowed.rs", &lib("ssd"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn unseeded_rng_bad_fires_at_exact_lines() {
+    let vs = scan_fixture("unseeded_rng_bad.rs", &lib("workloads"));
+    assert_eq!(
+        hits(&vs),
+        vec![("unseeded-rng", 3), ("unseeded-rng", 4)],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn unseeded_rng_fires_even_in_tests() {
+    let vs = scan_fixture("unseeded_rng_bad.rs", &FileCtx::new("sim", FileKind::Test));
+    assert_eq!(vs.len(), 2, "{vs:#?}");
+    assert!(vs.iter().all(|v| v.rule == Rule::UnseededRng));
+}
+
+#[test]
+fn unseeded_rng_pragma_suppresses() {
+    let vs = scan_fixture("unseeded_rng_allowed.rs", &lib("workloads"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn panic_path_bad_fires_at_exact_lines() {
+    let vs = scan_fixture("panic_path_bad.rs", &lib("nvme"));
+    assert_eq!(
+        hits(&vs),
+        vec![("panic-path", 3), ("panic-path", 4), ("panic-path", 6)],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn panic_path_silent_outside_sim_critical_libs() {
+    let vs = scan_fixture("panic_path_bad.rs", &lib("bench"));
+    assert!(vs.is_empty(), "{vs:#?}");
+    let vs = scan_fixture("panic_path_bad.rs", &FileCtx::new("nvme", FileKind::Test));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn panic_path_pragma_suppresses() {
+    let vs = scan_fixture("panic_path_allowed.rs", &lib("nvme"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn println_bad_fires_at_exact_lines() {
+    let vs = scan_fixture("println_bad.rs", &lib("host"));
+    assert_eq!(hits(&vs), vec![("println", 3), ("println", 4)], "{vs:#?}");
+}
+
+#[test]
+fn println_allowed_in_binaries() {
+    let vs = scan_fixture("println_bad.rs", &FileCtx::new("host", FileKind::Bin));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn println_pragma_suppresses() {
+    let vs = scan_fixture("println_allowed.rs", &lib("host"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn wildcard_arm_bad_fires_at_exact_line() {
+    let vs = scan_fixture("wildcard_arm_bad.rs", &lib("testbed"));
+    assert_eq!(hits(&vs), vec![("wildcard-arm", 5)], "{vs:#?}");
+}
+
+#[test]
+fn wildcard_arm_pragma_suppresses() {
+    let vs = scan_fixture("wildcard_arm_allowed.rs", &lib("testbed"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn bare_and_unknown_pragmas_do_not_suppress() {
+    let vs = scan_fixture("pragma_bad.rs", &lib("core"));
+    // The justification-less pragma and the unknown-rule pragma are each
+    // flagged, and the violations they sit above still fire.
+    assert_eq!(
+        hits(&vs),
+        vec![
+            ("bad-pragma", 3),
+            ("panic-path", 4),
+            ("bad-pragma", 5),
+            ("panic-path", 6),
+        ],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn needles_in_comments_and_strings_are_masked() {
+    let vs = scan_fixture("masked_needles.rs", &lib("core"));
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn every_rule_has_a_bad_fixture_and_an_explain_text() {
+    for rule in Rule::ALL {
+        assert!(!rule.explain().is_empty(), "{} has no explain", rule.id());
+        assert_eq!(Rule::from_id(rule.id()), Some(rule));
+    }
+}

@@ -42,6 +42,9 @@
 //! assert_eq!(Sqe::from_bytes(&bytes).unwrap(), sqe);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod command;
 pub mod identify;
 pub mod log_page;

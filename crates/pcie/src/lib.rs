@@ -26,6 +26,9 @@
 //! assert_eq!(mem.read_vec(buf, 5), b"hello");
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod addr;
 pub mod bus;
 pub mod function;

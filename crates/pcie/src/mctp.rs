@@ -9,7 +9,7 @@
 //! (§VI-B) that MCTP stability required real engineering, so the error
 //! paths here are first-class.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Baseline MCTP transmission unit: payload bytes per packet.
@@ -215,7 +215,7 @@ impl std::error::Error for MctpError {}
 /// ```
 #[derive(Debug, Default)]
 pub struct Assembler {
-    in_progress: HashMap<(Eid, u8), Partial>,
+    in_progress: BTreeMap<(Eid, u8), Partial>,
     completed: u64,
     errors: u64,
 }

@@ -9,7 +9,7 @@
 //! so simulating a 768 GB host costs nothing until pages are written.
 
 use crate::addr::PciAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Page granularity of the sparse store (matches the x86 page size the
@@ -32,7 +32,7 @@ pub const PAGE_SIZE: u64 = 4096;
 /// ```
 pub struct HostMemory {
     size: u64,
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
     next_alloc: u64,
     bytes_written: u64,
     bytes_read: u64,
@@ -59,7 +59,7 @@ impl HostMemory {
         assert!(size >= 2 * PAGE_SIZE, "memory too small");
         HostMemory {
             size,
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             next_alloc: PAGE_SIZE,
             bytes_written: 0,
             bytes_read: 0,

@@ -213,15 +213,12 @@ impl<W> Simulation<W> {
     /// to `deadline` if it ends earlier. Returns the number of events fired.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut fired = 0;
-        loop {
-            match self.sched.heap.peek() {
-                Some(entry) if entry.at <= deadline => {
-                    let entry = self.sched.pop_due().expect("peeked entry");
-                    (entry.action)(&mut self.world, &mut self.sched);
-                    fired += 1;
-                }
-                _ => break,
-            }
+        while self.sched.heap.peek().is_some_and(|e| e.at <= deadline) {
+            let Some(entry) = self.sched.pop_due() else {
+                break;
+            };
+            (entry.action)(&mut self.world, &mut self.sched);
+            fired += 1;
         }
         if self.sched.now < deadline {
             self.sched.now = deadline;

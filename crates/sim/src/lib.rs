@@ -36,6 +36,9 @@
 //! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_us(5));
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod engine;
 pub mod faults;
 pub mod resource;

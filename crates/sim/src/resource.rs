@@ -137,6 +137,7 @@ impl MultiServer {
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
+            // bm-lint: allow(panic-path): `MultiServer::new` asserts m > 0, so `units` is never empty
             .expect("at least one unit");
         let start = self.units[idx].max(now);
         self.units[idx] = start + service;

@@ -214,10 +214,7 @@ impl ZipfTable {
     /// Samples an index.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.unit();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

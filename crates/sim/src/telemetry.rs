@@ -23,7 +23,7 @@
 use crate::stats::LatencyHistogram;
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -188,8 +188,8 @@ pub struct TelemetryRecorder {
     next_cmd: u64,
     /// `(tenant, host cid)` → open root span. NVMe guarantees a cid is
     /// not reused while outstanding, so this binding is unambiguous.
-    open: HashMap<(u16, u16), OpenCmd>,
-    agg: HashMap<AggKey, LatencyHistogram>,
+    open: BTreeMap<(u16, u16), OpenCmd>,
+    agg: BTreeMap<AggKey, LatencyHistogram>,
 }
 
 impl TelemetryRecorder {
@@ -204,8 +204,8 @@ impl TelemetryRecorder {
             ring: VecDeque::new(),
             dropped: 0,
             next_cmd: 0,
-            open: HashMap::new(),
-            agg: HashMap::new(),
+            open: BTreeMap::new(),
+            agg: BTreeMap::new(),
         }
     }
 
@@ -381,7 +381,7 @@ impl TelemetryRecorder {
 
     /// Per-tenant roll-up for `stage` (opcodes merged), sorted by tenant.
     pub fn tenant_rollup(&self, stage: TelemetryStage) -> Vec<(u16, LatencyHistogram)> {
-        let mut by_tenant: HashMap<u16, LatencyHistogram> = HashMap::new();
+        let mut by_tenant: BTreeMap<u16, LatencyHistogram> = BTreeMap::new();
         for (k, h) in &self.agg {
             if k.stage == stage {
                 by_tenant.entry(k.tenant).or_default().merge(h);
@@ -399,8 +399,8 @@ impl TelemetryRecorder {
     /// output is deterministic.
     pub fn spans(&self) -> Vec<Span> {
         // Open begins for a (cmd, stage), as (start, tenant, opcode).
-        type OpenBegins = HashMap<(CmdId, TelemetryStage), Vec<(SimTime, u16, u8)>>;
-        let mut open: OpenBegins = HashMap::new();
+        type OpenBegins = BTreeMap<(CmdId, TelemetryStage), Vec<(SimTime, u16, u8)>>;
+        let mut open: OpenBegins = BTreeMap::new();
         let mut spans = Vec::new();
         for ev in &self.ring {
             match ev.kind {
@@ -625,9 +625,7 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
-    let end = rest
-        .find([',', '}'])
-        .expect("chrome_trace fields are ,/} terminated");
+    let end = rest.find([',', '}'])?;
     Some(&rest[..end])
 }
 

@@ -25,6 +25,9 @@
 //! assert_eq!(ssd.capacity_bytes(), 2_000_000_000_000);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod calibration;
 pub mod device;
 pub mod firmware;

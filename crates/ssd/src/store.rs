@@ -12,7 +12,7 @@
 
 use bm_nvme::types::Lba;
 use bytes::Bytes;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Content store for one SSD's physical LBA space.
 ///
@@ -34,7 +34,7 @@ pub struct BlockStore {
     /// Captured blocks are refcounted so reads hand out views, not
     /// copies (readbacks on the hot path would otherwise clone 4 KiB
     /// per block).
-    blocks: HashMap<u64, Bytes>,
+    blocks: BTreeMap<u64, Bytes>,
 }
 
 impl BlockStore {
@@ -52,7 +52,7 @@ impl BlockStore {
             ssd_seed,
             block_size,
             capture,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
         }
     }
 

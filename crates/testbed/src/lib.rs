@@ -101,6 +101,9 @@
 //! pick the new scheme up and check payload integrity and determinism
 //! against the others once it is added to its scheme list.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod config;
 pub mod schemes;
 pub mod types;

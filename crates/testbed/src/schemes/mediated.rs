@@ -18,7 +18,7 @@ use bm_nvme::Cqe;
 use bm_sim::resource::FifoServer;
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::Ssd;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Virtio kick cost on the guest (ioeventfd exit).
 const VIRTIO_KICK: SimDuration = SimDuration::from_nanos(600);
@@ -60,7 +60,7 @@ pub(crate) struct MediatedScheme<M: Mediator> {
     mediator: M,
     attach: Vec<MediatedAttach>,
     /// Maps (ssd index, backend qid) → device for completions.
-    direct_map: HashMap<(usize, u16), DeviceId>,
+    direct_map: BTreeMap<(usize, u16), DeviceId>,
 }
 
 /// Builds a mediated scheme around `mediator`. Devices carve slices of
@@ -74,7 +74,7 @@ pub(crate) fn build<M: Mediator + 'static>(
     let entries = ctx.cfg.queue_entries;
     let specs = ctx.cfg.devices.clone();
     let mut attach = Vec::new();
-    let mut direct_map = HashMap::new();
+    let mut direct_map = BTreeMap::new();
     for (i, spec) in specs.iter().enumerate() {
         let ssd = i % ctx.ssds.len();
         let size_blocks = spec.size_bytes / 4096;

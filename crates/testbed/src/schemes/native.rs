@@ -14,7 +14,7 @@ use bm_nvme::types::QueueId;
 use bm_sim::resource::FifoServer;
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::Ssd;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One whole SSD per device, rings registered at the hardware.
 pub(crate) struct DirectScheme {
@@ -22,7 +22,7 @@ pub(crate) struct DirectScheme {
     /// Per-device backend: (ssd index, SSD-side queue id).
     attach: Vec<(usize, QueueId)>,
     /// Maps (ssd index, backend qid) → device for completions.
-    direct_map: HashMap<(usize, u16), DeviceId>,
+    direct_map: BTreeMap<(usize, u16), DeviceId>,
 }
 
 /// Builds the native (bare-metal) scheme.
@@ -36,7 +36,7 @@ pub(crate) fn build_direct(ctx: &mut BuildCtx, in_vm: bool, name: &'static str) 
     let entries = ctx.cfg.queue_entries;
     let specs = ctx.cfg.devices.clone();
     let mut attach = Vec::new();
-    let mut direct_map = HashMap::new();
+    let mut direct_map = BTreeMap::new();
     for (i, _spec) in specs.iter().enumerate() {
         assert!(i < ctx.ssds.len(), "one whole SSD per direct device");
         let (sq, cq) = ctx.alloc_rings(QueueId(1), entries);

@@ -45,7 +45,7 @@ use bmstore_core::controller::commands::BmsCommand;
 use bmstore_core::controller::{request_packets, BackendAdmin, BmsController, ControllerAction};
 use bmstore_core::engine::BmsEngine;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 pub(crate) struct PendingHost {
@@ -68,7 +68,7 @@ pub(crate) struct Device {
     pub(crate) sq: SubmissionQueue,
     pub(crate) cq: CompletionQueue,
     pub(crate) free_cids: Vec<u16>,
-    pub(crate) pending: HashMap<u16, PendingHost>,
+    pub(crate) pending: BTreeMap<u16, PendingHost>,
     pub(crate) waiting: VecDeque<(ClientId, IoRequest)>,
     pub(crate) vm: Option<VmState>,
     pub(crate) size_blocks: u64,
@@ -89,7 +89,7 @@ impl Device {
             sq,
             cq,
             free_cids: (0..entries - 1).rev().collect(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             waiting: VecDeque::new(),
             vm,
             size_blocks,

@@ -10,6 +10,8 @@
 //!   log) standing in for MySQL, driven by TPC-C and Sysbench mixes,
 //! * [`mixed`] — the §V-E multi-VM mixed-workload scenario.
 
+#![forbid(unsafe_code)]
+
 pub mod fio;
 pub mod kvstore;
 pub mod mixed;

@@ -6,6 +6,8 @@
 # Pass --telemetry to also run the telemetry report (telemetry_report),
 # which prints the per-tenant/per-stage latency breakdown and the
 # out-of-band NVMe-MI scrape tables.
+# Pass --lint to also print every bm-lint finding (the ratchet check
+# itself already runs as part of the preflight).
 # Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
 # single figure with a tree that is known-good).
 set -e
@@ -14,18 +16,24 @@ if [ "${SKIP_CHECKS:-0}" != "1" ]; then
 fi
 with_faults=0
 with_telemetry=0
+with_lint=0
 figure_args=""
 for arg in "$@"; do
     if [ "$arg" = "--faults" ]; then
         with_faults=1
     elif [ "$arg" = "--telemetry" ]; then
         with_telemetry=1
+    elif [ "$arg" = "--lint" ]; then
+        with_lint=1
     else
         figure_args="$figure_args $arg"
     fi
 done
 # shellcheck disable=SC2086 # word-splitting figure_args is intended
 set -- $figure_args
+if [ "$with_lint" = "1" ]; then
+    cargo run --release -q -p bm-lint -- list
+fi
 if [ "$with_faults" = "1" ]; then
     cargo run --release -q -p bm-bench --bin faults_smoke -- "$@"
 fi

@@ -10,6 +10,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> bm-lint check (determinism & simulation-safety ratchet)"
+# Static analysis before the slow suites: wall-clock reads, hash-order
+# iteration, unseeded randomness, panic paths, stray output and wildcard
+# arms are all cheap to catch here and expensive to debug as a byte-diff
+# in the figure pipeline. Fails only if a bucket grows over
+# lint-baseline.toml.
+cargo run --release -q -p bm-lint -- check
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
@@ -31,7 +39,7 @@ cargo run --release -q -p bm-bench --bin telemetry_smoke
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro -D clippy::todo"
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro -D clippy::todo
 
 echo "==> all checks passed"

@@ -4,6 +4,8 @@
 //! integration tests can `use bmstore::...`. See the README for the
 //! architecture overview and DESIGN.md for the full system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use bm_baselines as baselines;
 pub use bm_host as host;
 pub use bm_nvme as nvme;
