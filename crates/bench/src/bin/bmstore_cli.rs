@@ -1,11 +1,17 @@
 //! `bmstore-cli` — run ad-hoc fio-style scenarios against any scheme.
 //!
 //! ```text
-//! bmstore-cli [--scheme native|vfio|bm-store|bm-store-vm|spdk[:CORES]|arm]
+//! bmstore-cli [metrics] [--scheme native|vfio|bm-store|bm-store-vm|spdk[:CORES]|arm]
 //!             [--rw randread|randwrite|seqread|seqwrite|rw:READFRAC]
 //!             [--bs BYTES] [--iodepth N] [--numjobs N] [--ssds N]
-//!             [--runtime-ms N] [--seed N] [--qos-iops N]
+//!             [--runtime-ms N] [--seed N] [--qos-iops N] [--out FILE]
 //! ```
+//!
+//! The `metrics` subcommand runs the same scenario with the time-series
+//! registry enabled (the metrics twin of `--telemetry` plumbing) and
+//! dumps the Prometheus exposition plus the bottleneck table after the
+//! fio summary; `--out FILE` writes the exposition to FILE instead of
+//! stdout.
 //!
 //! Example: the paper's rand-r-128 on BM-Store with a 50 K IOPS cap:
 //!
@@ -14,13 +20,15 @@
 //!     --scheme bm-store --rw randread --iodepth 128 --qos-iops 50000
 //! ```
 
-use bm_sim::SimDuration;
+use bm_sim::metrics::{prometheus, render_bottleneck};
+use bm_sim::{SimDuration, SimTime};
 use bm_testbed::{SchemeKind, TestbedConfig};
 use bm_workloads::fio::{aggregate, run_fio, FioSpec, RwMode};
 use bmstore_core::engine::qos::QosLimit;
 use std::process::exit;
 
 struct Args {
+    metrics: bool,
     scheme: String,
     rw: String,
     bs: u64,
@@ -30,20 +38,22 @@ struct Args {
     runtime_ms: u64,
     seed: u64,
     qos_iops: u32,
+    out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bmstore-cli [--scheme native|vfio|bm-store|bm-store-vm|spdk[:CORES]|arm]\n\
+        "usage: bmstore-cli [metrics] [--scheme native|vfio|bm-store|bm-store-vm|spdk[:CORES]|arm]\n\
          \x20                  [--rw randread|randwrite|seqread|seqwrite|rw:READFRAC]\n\
          \x20                  [--bs BYTES] [--iodepth N] [--numjobs N] [--ssds N]\n\
-         \x20                  [--runtime-ms N] [--seed N] [--qos-iops N]"
+         \x20                  [--runtime-ms N] [--seed N] [--qos-iops N] [--out FILE]"
     );
     exit(2)
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        metrics: false,
         scheme: "bm-store".into(),
         rw: "randread".into(),
         bs: 4096,
@@ -53,8 +63,13 @@ fn parse_args() -> Args {
         runtime_ms: 500,
         seed: 42,
         qos_iops: 0,
+        out: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("metrics") {
+        args.metrics = true;
+        it.next();
+    }
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -67,6 +82,7 @@ fn parse_args() -> Args {
             "--runtime-ms" => args.runtime_ms = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--qos-iops" => args.qos_iops = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -134,6 +150,9 @@ fn main() {
         }
     }
     .with_seed(args.seed);
+    if args.metrics {
+        cfg = cfg.with_metrics();
+    }
     if args.qos_iops > 0 {
         for d in &mut cfg.devices {
             d.qos = QosLimit::iops(args.qos_iops as f64);
@@ -183,5 +202,29 @@ fn main() {
             "host polling CPU burnt: {:.3} core-seconds",
             polling.as_secs_f64()
         );
+    }
+    if args.metrics {
+        let dumped = world.tb.metrics().read(|m| {
+            let exposition = prometheus(m);
+            let end = m.last_sample().unwrap_or(SimTime::ZERO);
+            let table = render_bottleneck(&m.bottleneck_report(end, 5));
+            (exposition, table)
+        });
+        match dumped {
+            Some((exposition, table)) => {
+                match &args.out {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, &exposition) {
+                            eprintln!("cannot write {path}: {e}");
+                            exit(2);
+                        }
+                        println!("\nprometheus exposition written to {path}");
+                    }
+                    None => println!("\n{exposition}"),
+                }
+                println!("{table}");
+            }
+            None => eprintln!("metrics registry unavailable"),
+        }
     }
 }

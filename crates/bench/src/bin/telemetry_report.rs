@@ -173,8 +173,30 @@ fn main() {
                     rec.dropped()
                 )],
             );
+            if rec.dropped() > 0 {
+                println!(
+                    "WARNING: telemetry recorder dropped {} events — \
+                     stage rollups above under-count; raise the recorder \
+                     capacity or shorten the window",
+                    rec.dropped()
+                );
+            }
         })
         .expect("telemetry enabled");
+
+    // The controller-side NVMe-MI monitor tracks response payloads that
+    // failed to decode; a non-zero count means scraped tables are
+    // incomplete and must not be trusted silently.
+    if let Some(controller) = world.tb.controller() {
+        let decode_failures = controller.monitor().decode_failures();
+        row("mi decode", &[format!("{decode_failures} failures")]);
+        if decode_failures > 0 {
+            println!(
+                "WARNING: {decode_failures} NVMe-MI response payloads failed to \
+                 decode — the scrape tables below are incomplete"
+            );
+        }
+    }
 
     // Decode the NVMe-MI scrapes (arrival order: mid f0, mid f1,
     // final f0, final f1).

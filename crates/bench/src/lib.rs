@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use bm_sim::SimDuration;
 use bm_workloads::fio::FioSpec;
 

@@ -1,0 +1,668 @@
+//! The regression-gated benchmark report.
+//!
+//! [`BenchReport`] is the machine-readable result of the `bench_report`
+//! binary: one [`BenchCase`] per figure workload, carrying throughput,
+//! tail latency, per-stage utilization and the saturated stage named by
+//! the bottleneck profiler. Reports serialize to a small JSON dialect
+//! (objects, arrays, strings, numbers, booleans — written and parsed
+//! here, no external crates) so a committed `bench-baseline.json` can
+//! gate regressions in `scripts/check.sh` via [`compare`].
+//!
+//! The simulation is deterministic, so same-code runs reproduce the
+//! baseline exactly; the tolerances exist to absorb small intentional
+//! model recalibrations without churning the committed file.
+
+use std::fmt::Write as _;
+
+/// One benchmark workload's measured envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Workload id, e.g. `fig08-rand-r-128`.
+    pub name: String,
+    /// Aggregate operations per second.
+    pub iops: f64,
+    /// Aggregate bandwidth in MB/s.
+    pub bandwidth_mbps: f64,
+    /// Median completion latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile completion latency in microseconds.
+    pub p99_us: f64,
+    /// Peak back-end SQ occupancy over the run.
+    pub peak_queue_depth: f64,
+    /// The stage the bottleneck profiler named (empty if idle).
+    pub saturated_stage: String,
+    /// Per-stage occupancy (busy time / elapsed), profiler order.
+    pub stages: Vec<(String, f64)>,
+}
+
+/// A full report: schema version, run mode, and the cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Format version (bump on incompatible change).
+    pub schema: u32,
+    /// Whether the run used `--quick` scaling.
+    pub quick: bool,
+    /// The measured workloads.
+    pub cases: Vec<BenchCase>,
+}
+
+/// Relative tolerances for [`compare`]. A measurement `x` passes
+/// against baseline `b` when `|x - b| <= rel * max(|b|, epsilon)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Throughput (IOPS and bandwidth) relative tolerance.
+    pub throughput_rel: f64,
+    /// Latency (p50/p99) relative tolerance.
+    pub latency_rel: f64,
+    /// Peak queue depth relative tolerance.
+    pub queue_rel: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            throughput_rel: 0.05,
+            latency_rel: 0.10,
+            queue_rel: 0.25,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` on f64 is the shortest round-trippable decimal form.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+impl BenchReport {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = write!(
+            s,
+            "  \"schema\": {},\n  \"quick\": {},\n",
+            self.schema, self.quick
+        );
+        s.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            s.push_str("    {\n      \"name\": ");
+            json_escape(&c.name, &mut s);
+            s.push_str(",\n      \"iops\": ");
+            json_num(c.iops, &mut s);
+            s.push_str(",\n      \"bandwidth_mbps\": ");
+            json_num(c.bandwidth_mbps, &mut s);
+            s.push_str(",\n      \"p50_us\": ");
+            json_num(c.p50_us, &mut s);
+            s.push_str(",\n      \"p99_us\": ");
+            json_num(c.p99_us, &mut s);
+            s.push_str(",\n      \"peak_queue_depth\": ");
+            json_num(c.peak_queue_depth, &mut s);
+            s.push_str(",\n      \"saturated_stage\": ");
+            json_escape(&c.saturated_stage, &mut s);
+            s.push_str(",\n      \"stages\": [");
+            for (j, (name, occ)) in c.stages.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str("{\"stage\": ");
+                json_escape(name, &mut s);
+                s.push_str(", \"occupancy\": ");
+                json_num(*occ, &mut s);
+                s.push('}');
+            }
+            s.push_str("]\n    }");
+            s.push_str(if i + 1 < self.cases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a report written by [`Self::to_json`] (accepts any
+    /// standard JSON with the same shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or shape problem.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = Parser::new(text).parse()?;
+        let obj = value.as_object("report")?;
+        let schema = obj.field("schema", "report")?.as_f64("schema")? as u32;
+        let quick = obj.field("quick", "report")?.as_bool("quick")?;
+        let mut cases = Vec::new();
+        for (i, cv) in obj
+            .field("cases", "report")?
+            .as_array("cases")?
+            .iter()
+            .enumerate()
+        {
+            let c = cv.as_object(&format!("cases[{i}]"))?;
+            let mut stages = Vec::new();
+            for sv in c.field("stages", "case")?.as_array("stages")? {
+                let so = sv.as_object("stage")?;
+                stages.push((
+                    so.field("stage", "stage")?.as_str("stage")?.to_string(),
+                    so.field("occupancy", "stage")?.as_f64("occupancy")?,
+                ));
+            }
+            cases.push(BenchCase {
+                name: c.field("name", "case")?.as_str("name")?.to_string(),
+                iops: c.field("iops", "case")?.as_f64("iops")?,
+                bandwidth_mbps: c
+                    .field("bandwidth_mbps", "case")?
+                    .as_f64("bandwidth_mbps")?,
+                p50_us: c.field("p50_us", "case")?.as_f64("p50_us")?,
+                p99_us: c.field("p99_us", "case")?.as_f64("p99_us")?,
+                peak_queue_depth: c
+                    .field("peak_queue_depth", "case")?
+                    .as_f64("peak_queue_depth")?,
+                saturated_stage: c
+                    .field("saturated_stage", "case")?
+                    .as_str("saturated_stage")?
+                    .to_string(),
+                stages,
+            });
+        }
+        Ok(BenchReport {
+            schema,
+            quick,
+            cases,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON parsing (minimal recursive-descent, no dependencies)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Object(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(v) => Ok(*v),
+            other => Err(format!("{what}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(v) => Ok(v),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+}
+
+trait ObjectExt {
+    fn field(&self, key: &str, what: &str) -> Result<&Json, String>;
+}
+
+impl ObjectExt for [(String, Json)] {
+    fn field(&self, key: &str, what: &str) -> Result<&Json, String> {
+        self.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("{what}: missing key {key:?}"))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing data at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.eat_word("true").map(|()| Json::Bool(true)),
+            b'f' => self.eat_word("false").map(|()| Json::Bool(false)),
+            b'n' => self.eat_word("null").map(|()| Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(out));
+                }
+                c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(out));
+                }
+                c => return Err(format!("expected ',' or ']', got {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape \\{}", c as char)),
+                    }
+                }
+                b => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw input.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >= 0xF0 => 4,
+                        _ if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "bad UTF-8".to_string())?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+fn check_rel(
+    out: &mut Vec<String>,
+    case: &str,
+    metric: &str,
+    current: f64,
+    baseline: f64,
+    rel: f64,
+) {
+    let budget = rel * baseline.abs().max(1e-9);
+    if (current - baseline).abs() > budget {
+        out.push(format!(
+            "{case}: {metric} {current:.2} vs baseline {baseline:.2} \
+             (allowed ±{:.1}%)",
+            rel * 100.0
+        ));
+    }
+}
+
+/// Compares a fresh report against the committed baseline. Returns the
+/// list of violations, empty when the report is within tolerances.
+/// Missing or extra cases, schema/mode mismatches and a changed
+/// saturated stage are violations too.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: Tolerances) -> Vec<String> {
+    let mut out = Vec::new();
+    if current.schema != baseline.schema {
+        out.push(format!(
+            "schema mismatch: current {} vs baseline {}",
+            current.schema, baseline.schema
+        ));
+        return out;
+    }
+    if current.quick != baseline.quick {
+        out.push(format!(
+            "run-mode mismatch: current quick={} vs baseline quick={} \
+             (compare like with like)",
+            current.quick, baseline.quick
+        ));
+        return out;
+    }
+    for b in &baseline.cases {
+        let Some(c) = current.cases.iter().find(|c| c.name == b.name) else {
+            out.push(format!("{}: case missing from current report", b.name));
+            continue;
+        };
+        check_rel(
+            &mut out,
+            &b.name,
+            "iops",
+            c.iops,
+            b.iops,
+            tol.throughput_rel,
+        );
+        check_rel(
+            &mut out,
+            &b.name,
+            "bandwidth_mbps",
+            c.bandwidth_mbps,
+            b.bandwidth_mbps,
+            tol.throughput_rel,
+        );
+        check_rel(
+            &mut out,
+            &b.name,
+            "p50_us",
+            c.p50_us,
+            b.p50_us,
+            tol.latency_rel,
+        );
+        check_rel(
+            &mut out,
+            &b.name,
+            "p99_us",
+            c.p99_us,
+            b.p99_us,
+            tol.latency_rel,
+        );
+        check_rel(
+            &mut out,
+            &b.name,
+            "peak_queue_depth",
+            c.peak_queue_depth,
+            b.peak_queue_depth,
+            tol.queue_rel,
+        );
+        if c.saturated_stage != b.saturated_stage {
+            out.push(format!(
+                "{}: saturated stage changed: {:?} vs baseline {:?}",
+                b.name, c.saturated_stage, b.saturated_stage
+            ));
+        }
+    }
+    for c in &current.cases {
+        if !baseline.cases.iter().any(|b| b.name == c.name) {
+            out.push(format!(
+                "{}: case not in baseline (regenerate with --write-baseline)",
+                c.name
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: 1,
+            quick: true,
+            cases: vec![
+                BenchCase {
+                    name: "fig08-rand-r-128".into(),
+                    iops: 123_456.78,
+                    bandwidth_mbps: 505.9,
+                    p50_us: 812.5,
+                    p99_us: 1200.0,
+                    peak_queue_depth: 128.0,
+                    saturated_stage: "ssd".into(),
+                    stages: vec![("ssd".into(), 112.4), ("front_end".into(), 0.11)],
+                },
+                BenchCase {
+                    name: "fig12-multivm".into(),
+                    iops: 99.5,
+                    bandwidth_mbps: 0.4,
+                    p50_us: 80.0,
+                    p99_us: 95.0,
+                    peak_queue_depth: 4.0,
+                    saturated_stage: String::new(),
+                    stages: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample();
+        let text = report.to_json();
+        let parsed = BenchReport::from_json(&text).expect("roundtrip parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parser_accepts_escapes_and_whitespace() {
+        let text = "{ \"schema\": 1, \"quick\": false,\n \"cases\": [ {\n\
+                    \"name\": \"a\\\"b\\u0041\", \"iops\": 1e3, \"bandwidth_mbps\": -2.5,\n\
+                    \"p50_us\": 0.125, \"p99_us\": 4, \"peak_queue_depth\": 0,\n\
+                    \"saturated_stage\": \"\", \"stages\": [] } ] }";
+        let r = BenchReport::from_json(text).expect("parses");
+        assert_eq!(r.cases[0].name, "a\"bA");
+        assert_eq!(r.cases[0].iops, 1000.0);
+        assert_eq!(r.cases[0].bandwidth_mbps, -2.5);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("[]").is_err());
+        assert!(BenchReport::from_json("{\"schema\": 1}").is_err());
+        assert!(BenchReport::from_json("{\"schema\": 1, \"quick\": true, \"cases\": [}]").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = sample();
+        assert!(compare(&r, &r, Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn throughput_regression_is_flagged() {
+        let base = sample();
+        let mut cur = sample();
+        cur.cases[0].iops *= 0.80; // -20% — outside the 5% budget
+        let violations = compare(&cur, &base, Tolerances::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("iops"));
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let base = sample();
+        let mut cur = sample();
+        cur.cases[0].iops *= 1.02;
+        cur.cases[0].p99_us *= 1.05;
+        assert!(compare(&cur, &base, Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn mode_and_shape_mismatches_are_flagged() {
+        let base = sample();
+        let mut cur = sample();
+        cur.quick = false;
+        assert_eq!(compare(&cur, &base, Tolerances::default()).len(), 1);
+        let mut cur = sample();
+        cur.cases.remove(1);
+        assert!(compare(&cur, &base, Tolerances::default())
+            .iter()
+            .any(|v| v.contains("missing")));
+        let mut cur = sample();
+        cur.cases[0].saturated_stage = "dma_routing".into();
+        assert!(compare(&cur, &base, Tolerances::default())
+            .iter()
+            .any(|v| v.contains("saturated stage")));
+    }
+}

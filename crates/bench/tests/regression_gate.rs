@@ -1,0 +1,74 @@
+//! The bench regression gate, demonstrated against the committed
+//! baseline: `bench-baseline.json` must parse, must agree with itself,
+//! and an injected regression must trip `compare` — the same check
+//! `scripts/check.sh` runs via `bench_report --baseline`.
+
+use bm_bench::report::{compare, BenchReport, Tolerances};
+
+fn committed_baseline() -> BenchReport {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench-baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed bench-baseline.json");
+    BenchReport::from_json(&text).expect("baseline parses")
+}
+
+#[test]
+fn committed_baseline_parses_and_roundtrips() {
+    let baseline = committed_baseline();
+    assert_eq!(baseline.schema, 1);
+    assert!(baseline.quick, "the committed baseline is a --quick run");
+    assert_eq!(baseline.cases.len(), 5);
+    for case in &baseline.cases {
+        assert!(case.iops > 0.0, "{}: iops must be positive", case.name);
+        assert!(case.p99_us >= case.p50_us, "{}: p99 < p50", case.name);
+        assert!(
+            !case.saturated_stage.is_empty(),
+            "{}: profiler must name a bottleneck",
+            case.name
+        );
+        assert!(!case.stages.is_empty(), "{}: no stage breakdown", case.name);
+    }
+    let reparsed = BenchReport::from_json(&baseline.to_json()).expect("roundtrip");
+    assert!(compare(&reparsed, &baseline, Tolerances::default()).is_empty());
+}
+
+#[test]
+fn injected_throughput_regression_trips_the_gate() {
+    let baseline = committed_baseline();
+    let mut regressed = committed_baseline();
+    // A 20% IOPS drop on one case: well outside the 5% throughput budget.
+    regressed.cases[0].iops *= 0.8;
+    let violations = compare(&regressed, &baseline, Tolerances::default());
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert!(violations[0].contains(&baseline.cases[0].name));
+    assert!(violations[0].contains("iops"));
+}
+
+#[test]
+fn injected_latency_regression_trips_the_gate() {
+    let baseline = committed_baseline();
+    let mut regressed = committed_baseline();
+    // p99 inflated 30%: outside the 10% latency budget.
+    regressed.cases[1].p99_us *= 1.3;
+    let violations = compare(&regressed, &baseline, Tolerances::default());
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert!(violations[0].contains("p99"));
+}
+
+#[test]
+fn bottleneck_shift_trips_the_gate() {
+    let baseline = committed_baseline();
+    let mut shifted = committed_baseline();
+    shifted.cases[0].saturated_stage = "dma_routing".to_string();
+    let violations = compare(&shifted, &baseline, Tolerances::default());
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert!(violations[0].contains("saturated"));
+}
+
+#[test]
+fn missing_case_trips_the_gate() {
+    let baseline = committed_baseline();
+    let mut truncated = committed_baseline();
+    truncated.cases.pop();
+    let violations = compare(&truncated, &baseline, Tolerances::default());
+    assert!(!violations.is_empty());
+}

@@ -132,6 +132,12 @@ impl BmsController {
         &self.hotplug_reports
     }
 
+    /// The MCTP reassembler (the metrics sampler reads its in-progress
+    /// partial-assembly gauge).
+    pub fn assembler(&self) -> &Assembler {
+        &self.assembler
+    }
+
     /// The I/O monitor.
     pub fn monitor(&self) -> &IoMonitor {
         &self.monitor

@@ -67,6 +67,7 @@ pub struct BackEndPort {
     list_slots: Vec<PciAddr>,
     forwarded: u64,
     completed: u64,
+    abandoned: u64,
 }
 
 impl fmt::Debug for BackEndPort {
@@ -112,6 +113,7 @@ impl BackEndPort {
                 .collect(),
             forwarded: 0,
             completed: 0,
+            abandoned: 0,
         }
     }
 
@@ -241,6 +243,7 @@ impl BackEndPort {
     pub fn abandon(&mut self, cid: Cid) -> Option<Outstanding> {
         let origin = self.outstanding[cid.0 as usize].take()?;
         self.zombies[cid.0 as usize] = true;
+        self.abandoned += 1;
         Some(origin)
     }
 
@@ -273,6 +276,29 @@ impl BackEndPort {
     /// Completions received from this SSD so far.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Forwarding attempts abandoned by the timeout machinery so far.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Slots currently held by live (non-zombie) commands. At every
+    /// instant `live == forwarded - completed - abandoned` — the
+    /// conservation identity the metrics sampler and its tests rely on.
+    pub fn live(&self) -> usize {
+        self.outstanding.iter().flatten().count()
+    }
+
+    /// Slots currently held by zombies awaiting their stale completion.
+    pub fn zombie_count(&self) -> usize {
+        self.zombies.iter().filter(|z| **z).count()
+    }
+
+    /// Payload bytes owned by live in-flight commands (the engine's
+    /// share of the in-flight DMA byte gauge).
+    pub fn inflight_bytes(&self) -> u64 {
+        self.outstanding.iter().flatten().map(|o| o.bytes).sum()
     }
 }
 

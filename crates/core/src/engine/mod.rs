@@ -41,6 +41,7 @@ use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
 use bm_nvme::{Cqe, Status};
 use bm_pcie::memory::PAGE_SIZE;
 use bm_pcie::{FunctionId, HostMemory, PciAddr, SriovConfig};
+use bm_sim::metrics::{names as metric_names, stages as metric_stages, MetricKey, MetricsHandle};
 use bm_sim::resource::BandwidthLink;
 use bm_sim::telemetry::{CmdId, TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{SimDuration, SimTime};
@@ -401,6 +402,9 @@ pub struct BmsEngine {
     /// Span/event recorder shared with the testbed (disabled by default;
     /// every call is then a no-op, keeping the pipeline byte-identical).
     telemetry: TelemetryHandle,
+    /// Counter/gauge registry shared with the testbed sampler (disabled
+    /// by default; same no-op discipline as `telemetry`).
+    metrics: MetricsHandle,
 }
 
 /// Reconstructs the NVMe opcode byte of an [`Outstanding`] origin from
@@ -413,6 +417,11 @@ fn origin_opcode(origin: &Outstanding) -> u8 {
     } else {
         IoOpcode::Read.code()
     }
+}
+
+/// Per-function metric key: `name{function="f<idx>"}`.
+fn func_key(name: &'static str, func: FunctionId) -> MetricKey {
+    MetricKey::labeled(name, "function", format_args!("f{}", func.index()))
 }
 
 /// Retry bookkeeping for one in-flight forwarding attempt.
@@ -472,6 +481,7 @@ impl BmsEngine {
             recovery_log: Vec::new(),
             resilience: ResilienceStats::default(),
             telemetry: TelemetryHandle::disabled(),
+            metrics: MetricsHandle::disabled(),
             cfg,
         }
     }
@@ -481,6 +491,35 @@ impl BmsEngine {
     /// the submitter opened.
     pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
+    }
+
+    /// Attaches a metrics registry; the engine accumulates per-stage
+    /// busy time and pipeline counters into it as events fire. The
+    /// periodic sampler reads occupancy gauges through [`Self::adaptor`]
+    /// and [`Self::backlog_len`] instead of hooking the hot path.
+    pub fn set_metrics(&mut self, handle: MetricsHandle) {
+        self.metrics = handle;
+    }
+
+    /// The attached metrics registry handle (disabled by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Read-only view of the back-end ports (the metrics sampler reads
+    /// per-SSD occupancy, in-flight bytes and conservation tallies).
+    pub fn adaptor(&self) -> &HostAdaptor {
+        &self.adaptor
+    }
+
+    /// How many commands are buffered toward `ssd` (paused, ring-full,
+    /// or quiesce-replay backlog) — the doorbell-backlog gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssd` has no back-end port.
+    pub fn backlog_len(&self, ssd: SsdId) -> usize {
+        self.backlog[ssd.0 as usize].len()
     }
 
     /// The configuration.
@@ -518,6 +557,10 @@ impl BmsEngine {
         end: SimTime,
         ok: bool,
     ) {
+        // The SSD service interval is the `ssd` stage of the bottleneck
+        // report, charged whether or not a span recorder is attached.
+        self.metrics
+            .with(|m| m.stage_busy(metric_stages::SSD, end.saturating_since(start), 1));
         if !self.telemetry.is_enabled() {
             return;
         }
@@ -734,6 +777,8 @@ impl BmsEngine {
         };
         debug_assert_eq!(origin.seq, seq);
         self.resilience.timeouts += 1;
+        self.metrics
+            .with(|m| m.counter_add(MetricKey::new(metric_names::ENGINE_TIMEOUTS), 1));
         // The abandoned attempt's DMA window closes here, unsuccessfully;
         // retry/abort events attach to the same owning command.
         if origin.cmd.is_some() {
@@ -754,6 +799,8 @@ impl BmsEngine {
         if io.retries < self.cfg.max_retries {
             io.retries += 1;
             self.resilience.retries += 1;
+            self.metrics
+                .with(|m| m.counter_add(MetricKey::new(metric_names::ENGINE_RETRIES), 1));
             self.recovery_log.push(RecoveryEvent::TimeoutRetry {
                 ssd,
                 attempt: io.retries,
@@ -898,6 +945,12 @@ impl BmsEngine {
             }
         }
         let fetch_at = now + self.cfg.timing.command_fetch;
+        if !sqes.is_empty() {
+            let n = sqes.len() as u64;
+            let busy = self.cfg.timing.command_fetch * n;
+            self.metrics
+                .with(|m| m.stage_busy(metric_stages::FRONT_END, busy, n));
+        }
         let mut actions = Vec::new();
         for sqe in sqes {
             if sqe.cid == Cid(0xFFFF) {
@@ -1086,6 +1139,20 @@ impl BmsEngine {
         // The command is now inside the pipeline: gauge it and attribute
         // the mapping/rewrite pipeline window to the Translate stage.
         self.counters.command_started(io.func);
+        if self.metrics.is_enabled() {
+            let pipe = self.cfg.timing.pipeline;
+            let outstanding = self.counters.regs(io.func).outstanding;
+            let func = io.func;
+            self.metrics.with(|m| {
+                m.stage_busy(metric_stages::TARGET_CTRL, pipe, 1);
+                m.counter_add(func_key(metric_names::ENGINE_STARTED, func), 1);
+                m.gauge_set(
+                    now,
+                    func_key(metric_names::ENGINE_OUTSTANDING, func),
+                    f64::from(outstanding),
+                );
+            });
+        }
         self.tel_span(
             &io,
             TelemetryStage::Translate,
@@ -1099,6 +1166,9 @@ impl BmsEngine {
                 Admission::Immediate => {}
                 Admission::Deferred(at) => {
                     self.counters.record_deferred(io.func);
+                    let wait = at.saturating_since(now);
+                    self.metrics
+                        .with(|m| m.stage_busy(metric_stages::QOS, wait, 1));
                     self.tel_span(&io, TelemetryStage::Qos, now, at);
                     self.qos_seq += 1;
                     self.qos_heap.push(QosRelease {
@@ -1131,6 +1201,10 @@ impl BmsEngine {
             let mut ssds: Vec<SsdId> = binding.entries.iter().map(|e| e.ssd()).collect();
             ssds.sort_unstable();
             ssds.dedup();
+            let n = ssds.len() as u64;
+            let busy = self.cfg.timing.pipeline * n;
+            self.metrics
+                .with(|m| m.stage_busy(metric_stages::MAPPING, busy, n));
             self.fanout.insert(key, (ssds.len() as u8, Status::Success));
             for ssd in ssds {
                 let mut sqe = io.sqe;
@@ -1141,6 +1215,10 @@ impl BmsEngine {
         }
         // Split read/write on chunk boundaries.
         let spans = self.split_spans(&io);
+        let n = spans.len() as u64;
+        let busy = self.cfg.timing.pipeline * n;
+        self.metrics
+            .with(|m| m.stage_busy(metric_stages::MAPPING, busy, n));
         self.fanout
             .insert(key, (spans.len() as u8, Status::Success));
         for (ssd, pl, block_off, nblocks) in spans {
@@ -1321,6 +1399,11 @@ impl BmsEngine {
                 at = at.max(link.transfer(now, bytes));
             }
         }
+        // Forward window: ring push + doorbell, plus any store-and-
+        // forward link wait (the DMA-bound case the profiler must name).
+        let busy = at.saturating_since(now);
+        self.metrics
+            .with(|m| m.stage_busy(metric_stages::DMA_ROUTING, busy, 1));
         actions.push(EngineAction::BackendDoorbell { ssd, tail, at });
     }
 
@@ -1440,6 +1523,28 @@ impl BmsEngine {
             // outstanding gauge.
             self.counters
                 .command_finished(origin.func, at.saturating_since(origin.fetched_at));
+            if self.metrics.is_enabled() {
+                // Any wait beyond the CQE forward slot is store-and-
+                // forward copy time: it belongs to the DMA routing
+                // stage, not the host adaptor (busy only — forwards
+                // already counted the arrival).
+                let copy_wait = at.saturating_since(now + self.cfg.timing.cqe_forward);
+                let busy = at.saturating_since(now) + self.cfg.timing.interrupt - copy_wait;
+                let outstanding = self.counters.regs(origin.func).outstanding;
+                let func = origin.func;
+                self.metrics.with(|m| {
+                    if copy_wait > SimDuration::ZERO {
+                        m.stage_busy(metric_stages::DMA_ROUTING, copy_wait, 0);
+                    }
+                    m.stage_busy(metric_stages::HOST_ADAPTOR, busy, 1);
+                    m.counter_add(func_key(metric_names::ENGINE_FINISHED, func), 1);
+                    m.gauge_set(
+                        now,
+                        func_key(metric_names::ENGINE_OUTSTANDING, func),
+                        f64::from(outstanding),
+                    );
+                });
+            }
             if origin.cmd.is_some() {
                 self.telemetry.span(
                     origin.cmd,

@@ -286,6 +286,12 @@ impl Assembler {
         self.completed
     }
 
+    /// Reassemblies currently in progress (SOM seen, EOM not yet) —
+    /// the in-flight gauge the metrics sampler reads.
+    pub fn in_progress(&self) -> usize {
+        self.in_progress.len()
+    }
+
     /// Reassembly errors observed.
     pub fn errors(&self) -> u64 {
         self.errors

@@ -18,7 +18,10 @@
 //!   can run under SSD, MCTP and PCIe-link misbehaviour,
 //! * [`telemetry`] — a span/event recorder keyed by a [`telemetry::CmdId`]
 //!   correlation ID, with per-(tenant, function, opcode, stage) latency
-//!   aggregation and Chrome-trace/JSONL exporters.
+//!   aggregation and Chrome-trace/JSONL exporters,
+//! * [`metrics`] — a deterministic counter/gauge/time-series registry
+//!   sampled by a periodic simulator event, with a Little's-law
+//!   bottleneck report and Prometheus/CSV exporters.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 
 pub mod engine;
 pub mod faults;
+pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -49,6 +53,7 @@ pub mod time;
 
 pub use engine::{Scheduler, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use metrics::MetricsHandle;
 pub use rng::SimRng;
 pub use telemetry::{CmdId, TelemetryHandle};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,879 @@
+//! Deterministic, sim-time-sampled metrics.
+//!
+//! [`telemetry`](crate::telemetry) answers *"what happened to command
+//! X"* (spans and traces); this module answers *"where is the system
+//! saturated, and is it getting slower release over release"*. It is a
+//! registry of three metric shapes, all keyed by a
+//! ([`MetricKey`]) metric name plus ordered label pairs:
+//!
+//! * **counters** — monotonic `u64` totals (commands started, bytes
+//!   forwarded, retransmits, per-stage busy nanoseconds),
+//! * **gauges** — instantaneous values with a peak watermark and a
+//!   time-weighted integral, so the *mean occupancy over the run* falls
+//!   out without storing every transition,
+//! * **bounded time series** — `(SimTime, f64)` traces recorded by the
+//!   testbed's periodic sampling event, capped at a fixed capacity so a
+//!   long run cannot grow without bound (overflow is counted, never
+//!   silent).
+//!
+//! Fault windows are recorded as [`Annotation`]s so excursions in the
+//! series line up with their cause.
+//!
+//! # Determinism
+//!
+//! The registry is driven entirely by simulated time: it never
+//! schedules events, draws randomness, or reads a wall clock. Sampling
+//! is a *simulator event* (the testbed schedules it only when metrics
+//! are enabled), so with metrics off the event stream — and therefore
+//! every figure table — is byte-identical to a build without this
+//! module. A disabled [`MetricsHandle`] makes every call a no-op, the
+//! same contract as [`TelemetryHandle`](crate::telemetry::TelemetryHandle).
+//!
+//! # Bottleneck analysis
+//!
+//! Components account per-stage *busy time* (the interval a command
+//! occupies the stage, waiting included) and *arrivals* via
+//! [`MetricsRegistry::stage_busy`]. Over a window `T` this yields, per
+//! stage, a Little's-law breakdown: arrival rate `λ = arrivals / T`,
+//! mean occupancy `L = busy / T`, and implied latency `W = L / λ =
+//! busy / arrivals`. The stage with the highest occupancy is the
+//! saturated stage ([`MetricsRegistry::bottleneck_report`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bm_sim::metrics::{MetricKey, MetricsHandle};
+//! use bm_sim::{SimDuration, SimTime};
+//!
+//! let m = MetricsHandle::enabled();
+//! let t0 = SimTime::ZERO;
+//! m.with(|r| {
+//!     r.stage_busy("ssd", SimDuration::from_us(80), 1);
+//!     r.gauge_set(t0, MetricKey::new("depth"), 4.0);
+//!     r.sample(t0, MetricKey::new("depth"), 4.0);
+//! });
+//! let report = m
+//!     .read(|r| r.bottleneck_report(SimTime::ZERO + SimDuration::from_us(100), 4))
+//!     .unwrap();
+//! assert_eq!(report.saturated.as_deref(), Some("ssd"));
+//!
+//! // Disabled handles are inert: no allocation, no recording.
+//! let off = MetricsHandle::disabled();
+//! assert!(off.with(|r| r.counter_add(MetricKey::new("x"), 1)).is_none());
+//! ```
+
+use crate::stats::TimeSeries;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Default capacity of each bounded time series (samples per key).
+pub const DEFAULT_SERIES_CAPACITY: usize = 1 << 14;
+
+/// Canonical metric names, shared by every instrumented crate so the
+/// exposition is consistent and the report generators can find them.
+pub mod names {
+    /// Per-stage busy nanoseconds (counter; label `stage`).
+    pub const STAGE_BUSY_NS: &str = "bm_stage_busy_ns_total";
+    /// Per-stage command arrivals (counter; label `stage`).
+    pub const STAGE_ARRIVALS: &str = "bm_stage_arrivals_total";
+    /// Commands inside the engine pipeline (gauge; label `function`).
+    pub const ENGINE_OUTSTANDING: &str = "bm_engine_outstanding";
+    /// Commands fetched into the pipeline (counter; label `function`).
+    pub const ENGINE_STARTED: &str = "bm_engine_commands_started_total";
+    /// Commands that left the pipeline (counter; label `function`).
+    pub const ENGINE_FINISHED: &str = "bm_engine_commands_finished_total";
+    /// Commands parked behind a paused/full back-end port (gauge; label `ssd`).
+    pub const DOORBELL_BACKLOG: &str = "bm_engine_doorbell_backlog";
+    /// Back-end SQ slots in flight, zombies included (gauge; label `ssd`).
+    pub const BACKEND_INFLIGHT: &str = "bm_backend_sq_inflight";
+    /// SQEs pushed to a back-end ring (counter; label `ssd`).
+    pub const BACKEND_FORWARDED: &str = "bm_backend_forwarded_total";
+    /// CQEs drained from a back-end ring (counter; label `ssd`).
+    pub const BACKEND_COMPLETED: &str = "bm_backend_completed_total";
+    /// Timed-out attempts abandoned (counter; label `ssd`).
+    pub const BACKEND_ABANDONED: &str = "bm_backend_abandoned_total";
+    /// Live (non-zombie) back-end slots (gauge; label `ssd`).
+    pub const BACKEND_LIVE: &str = "bm_backend_live";
+    /// Zombie slots awaiting stale completions (gauge; label `ssd`).
+    pub const BACKEND_ZOMBIES: &str = "bm_backend_zombie_slots";
+    /// Payload bytes owned by in-flight back-end commands (gauge).
+    pub const DMA_INFLIGHT_BYTES: &str = "bm_dma_inflight_bytes";
+    /// Host-visible SQ entries awaiting completion (gauge; label `function`).
+    pub const HOST_SQ_INFLIGHT: &str = "bm_host_sq_inflight";
+    /// Host submissions waiting for a free ring slot (gauge; label `function`).
+    pub const HOST_SQ_WAITING: &str = "bm_host_sq_waiting";
+    /// SSD media busy nanoseconds (counter; label `ssd`).
+    pub const SSD_BUSY_NS: &str = "bm_ssd_service_busy_ns_total";
+    /// SSD commands serviced (counter; label `ssd`).
+    pub const SSD_OPS: &str = "bm_ssd_service_ops_total";
+    /// In-flight management requests: MCTP reassemblies in progress at
+    /// the controller (SOM received, EOM still missing) (gauge).
+    pub const MCTP_PARTIALS: &str = "bm_mctp_partial_assemblies";
+    /// Management packets lost on the wire (counter).
+    pub const MCTP_DROPPED: &str = "bm_mctp_packets_dropped_total";
+    /// Management retransmissions issued (counter).
+    pub const MCTP_RETRANSMITS: &str = "bm_mctp_retransmits_total";
+    /// Engine command timeouts observed (counter).
+    pub const ENGINE_TIMEOUTS: &str = "bm_engine_timeouts_total";
+    /// Engine command retries issued (counter).
+    pub const ENGINE_RETRIES: &str = "bm_engine_retries_total";
+}
+
+/// Engine pipeline stage labels, in paper order (Fig. 3), plus the
+/// back-end device stage used by the bottleneck report.
+pub mod stages {
+    /// SR-IOV front end: doorbell decode + SQE fetch.
+    pub const FRONT_END: &str = "front_end";
+    /// NVMe target controller: validation + per-command processing.
+    pub const TARGET_CTRL: &str = "target_ctrl";
+    /// LBA mapping table lookup / chunk split.
+    pub const MAPPING: &str = "mapping";
+    /// QoS admission (busy only while commands wait in the throttle).
+    pub const QOS: &str = "qos";
+    /// DMA routing + back-end forward (store-and-forward link included).
+    pub const DMA_ROUTING: &str = "dma_routing";
+    /// Host adaptor: CQE forward + interrupt post.
+    pub const HOST_ADAPTOR: &str = "host_adaptor";
+    /// The back-end device itself (service interval, internal queueing
+    /// included) — not an engine stage, but the report needs it to tell
+    /// "SSD-bound" from "engine-bound".
+    pub const SSD: &str = "ssd";
+
+    /// All stages the bottleneck report knows about, in display order.
+    pub const ALL: [&str; 7] = [
+        FRONT_END,
+        TARGET_CTRL,
+        MAPPING,
+        QOS,
+        DMA_ROUTING,
+        HOST_ADAPTOR,
+        SSD,
+    ];
+}
+
+/// A metric identity: name plus ordered `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-style snake case).
+    pub name: &'static str,
+    /// Label pairs, in a fixed order chosen by the instrumentation site.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricKey {
+    /// A key with no labels.
+    pub fn new(name: &'static str) -> Self {
+        MetricKey {
+            name,
+            labels: Vec::new(),
+        }
+    }
+
+    /// A key with one label.
+    pub fn labeled(name: &'static str, label: &'static str, value: impl fmt::Display) -> Self {
+        MetricKey {
+            name,
+            labels: vec![(label, value.to_string())],
+        }
+    }
+
+    /// The value of `label`, if present.
+    pub fn label(&self, label: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| *k == label)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn render(&self) -> String {
+        self.render_as(self.name)
+    }
+
+    /// Renders with `name` substituted for the key's own (peak twins:
+    /// the suffix must precede the label set in Prometheus syntax).
+    fn render_as(&self, name: &str) -> String {
+        if self.labels.is_empty() {
+            return name.to_string();
+        }
+        let mut out = String::from(name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A gauge: instantaneous value, peak watermark, and a time-weighted
+/// integral maintained piecewise between updates so mean occupancy is
+/// available without storing the full transition history.
+#[derive(Debug, Clone)]
+pub struct GaugeState {
+    value: f64,
+    peak: f64,
+    integral_ns: f64,
+    last_update: SimTime,
+}
+
+impl GaugeState {
+    fn new(now: SimTime, value: f64) -> Self {
+        GaugeState {
+            value,
+            peak: value,
+            integral_ns: 0.0,
+            last_update: now,
+        }
+    }
+
+    fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_since(self.last_update).as_nanos() as f64;
+        self.integral_ns += self.value * dt;
+        self.last_update = now;
+        self.value = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Highest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[start, now]`, treating the time before
+    /// the gauge existed as zero.
+    pub fn mean_over(&self, start: SimTime, now: SimTime) -> f64 {
+        let window = now.saturating_since(start).as_nanos() as f64;
+        if window == 0.0 {
+            return self.value;
+        }
+        let tail = now.saturating_since(self.last_update).as_nanos() as f64;
+        (self.integral_ns + self.value * tail) / window
+    }
+}
+
+/// A capacity-bounded time series. Once full, further samples are
+/// dropped and counted — determinism over completeness.
+#[derive(Debug, Clone)]
+pub struct BoundedSeries {
+    series: TimeSeries,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl BoundedSeries {
+    fn new(name: &str, capacity: usize) -> Self {
+        BoundedSeries {
+            series: TimeSeries::new(name),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, value: f64) {
+        if self.series.len() < self.capacity {
+            self.series.push(at, value);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        self.series.points()
+    }
+
+    /// Samples discarded after the series filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The underlying series (name, aggregates).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+/// A labeled time window (e.g. an injected fault) pinned to the run's
+/// series so excursions can be matched to their cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Window start.
+    pub start: SimTime,
+    /// Window end; `None` for instantaneous or still-open windows.
+    pub end: Option<SimTime>,
+    /// Human-readable cause.
+    pub label: String,
+}
+
+/// One stage's row in the [`BottleneckReport`].
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage label (see [`stages`]).
+    pub stage: String,
+    /// Commands that entered the stage.
+    pub arrivals: u64,
+    /// Total busy time accumulated by the stage.
+    pub busy: SimDuration,
+    /// Mean occupancy `L = busy / window` (may exceed 1 for stages with
+    /// internal parallelism, e.g. the SSD's flash dies).
+    pub occupancy: f64,
+    /// Arrival rate `λ` in commands per second.
+    pub arrival_rate_per_s: f64,
+    /// Little's-law implied latency `W = L / λ = busy / arrivals`.
+    pub implied_latency: SimDuration,
+}
+
+/// The utilization / queueing summary for a run window.
+#[derive(Debug, Clone)]
+pub struct BottleneckReport {
+    /// Window the rates are computed over.
+    pub window: SimDuration,
+    /// Per-stage breakdown, sorted by descending occupancy.
+    pub stages: Vec<StageReport>,
+    /// The stage with the highest occupancy, if any stage was busy.
+    pub saturated: Option<String>,
+    /// Top tenants by mean pipeline occupancy: `(function label, mean L)`.
+    pub top_tenants: Vec<(String, f64)>,
+}
+
+/// The metrics store: counters, gauges, bounded series, annotations.
+///
+/// Not used directly by components — they hold a [`MetricsHandle`].
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    series_capacity: usize,
+    started: SimTime,
+    last_sample: Option<SimTime>,
+    sample_ticks: u64,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, GaugeState>,
+    series: BTreeMap<MetricKey, BoundedSeries>,
+    annotations: Vec<Annotation>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with [`DEFAULT_SERIES_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// An empty registry with `series_capacity` samples per series key.
+    pub fn with_capacity(series_capacity: usize) -> Self {
+        MetricsRegistry {
+            series_capacity,
+            started: SimTime::ZERO,
+            last_sample: None,
+            sample_ticks: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            series: BTreeMap::new(),
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Adds `delta` to a counter, creating it at zero.
+    pub fn counter_add(&mut self, key: MetricKey, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (zero if never written).
+    pub fn counter(&self, key: &MetricKey) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge, folding the elapsed interval into its integral.
+    pub fn gauge_set(&mut self, now: SimTime, key: MetricKey, value: f64) {
+        match self.gauges.get_mut(&key) {
+            Some(g) => g.set(now, value),
+            None => {
+                self.gauges.insert(key, GaugeState::new(now, value));
+            }
+        }
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, key: &MetricKey) -> Option<&GaugeState> {
+        self.gauges.get(key)
+    }
+
+    /// Appends one point to a bounded series, creating it on first use.
+    pub fn sample(&mut self, at: SimTime, key: MetricKey, value: f64) {
+        match self.series.get_mut(&key) {
+            Some(s) => s.push(at, value),
+            None => {
+                let mut s = BoundedSeries::new(&key.render(), self.series_capacity);
+                s.push(at, value);
+                self.series.insert(key, s);
+            }
+        }
+    }
+
+    /// Reads a series.
+    pub fn series(&self, key: &MetricKey) -> Option<&BoundedSeries> {
+        self.series.get(key)
+    }
+
+    /// Accounts one stage traversal: `busy` occupancy-time (waiting
+    /// included) and `arrivals` commands entering the stage.
+    pub fn stage_busy(&mut self, stage: &'static str, busy: SimDuration, arrivals: u64) {
+        self.counter_add(
+            MetricKey::labeled(names::STAGE_BUSY_NS, "stage", stage),
+            busy.as_nanos(),
+        );
+        if arrivals > 0 {
+            self.counter_add(
+                MetricKey::labeled(names::STAGE_ARRIVALS, "stage", stage),
+                arrivals,
+            );
+        }
+    }
+
+    /// Records a labeled window annotation (e.g. a fault injection).
+    pub fn annotate(&mut self, start: SimTime, end: Option<SimTime>, label: impl Into<String>) {
+        self.annotations.push(Annotation {
+            start,
+            end,
+            label: label.into(),
+        });
+    }
+
+    /// Marks one firing of the periodic sampling event.
+    pub fn mark_sample_tick(&mut self, now: SimTime) {
+        self.sample_ticks += 1;
+        self.last_sample = Some(now);
+    }
+
+    /// Number of sampling-event firings.
+    pub fn sample_ticks(&self) -> u64 {
+        self.sample_ticks
+    }
+
+    /// Time of the most recent sampling-event firing.
+    pub fn last_sample(&self) -> Option<SimTime> {
+        self.last_sample
+    }
+
+    /// All recorded annotations, in recording order.
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// All counters, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// All gauges, in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, &GaugeState)> {
+        self.gauges.iter()
+    }
+
+    /// All series, in key order.
+    pub fn series_iter(&self) -> impl Iterator<Item = (&MetricKey, &BoundedSeries)> {
+        self.series.iter()
+    }
+
+    /// Total samples dropped across all series after filling.
+    pub fn series_dropped(&self) -> u64 {
+        self.series.values().map(|s| s.dropped).sum()
+    }
+
+    /// Builds the utilization / Little's-law summary as of `now`,
+    /// listing up to `top_k` tenants by mean pipeline occupancy.
+    pub fn bottleneck_report(&self, now: SimTime, top_k: usize) -> BottleneckReport {
+        let window = now.saturating_since(self.started);
+        let window_ns = window.as_nanos() as f64;
+        let mut stage_rows = Vec::new();
+        for (key, busy_ns) in &self.counters {
+            if key.name != names::STAGE_BUSY_NS {
+                continue;
+            }
+            let Some(stage) = key.label("stage") else {
+                continue;
+            };
+            let arrivals = self.counter(&MetricKey::labeled(names::STAGE_ARRIVALS, "stage", stage));
+            let busy = SimDuration::from_nanos(*busy_ns);
+            let occupancy = if window_ns > 0.0 {
+                *busy_ns as f64 / window_ns
+            } else {
+                0.0
+            };
+            let arrival_rate_per_s = if window_ns > 0.0 {
+                arrivals as f64 * 1e9 / window_ns
+            } else {
+                0.0
+            };
+            let implied_latency = busy_ns
+                .checked_div(arrivals)
+                .map(SimDuration::from_nanos)
+                .unwrap_or(SimDuration::ZERO);
+            stage_rows.push(StageReport {
+                stage: stage.to_string(),
+                arrivals,
+                busy,
+                occupancy,
+                arrival_rate_per_s,
+                implied_latency,
+            });
+        }
+        stage_rows.sort_by(|a, b| {
+            b.occupancy
+                .total_cmp(&a.occupancy)
+                .then_with(|| a.stage.cmp(&b.stage))
+        });
+        let saturated = stage_rows
+            .first()
+            .filter(|s| s.busy > SimDuration::ZERO)
+            .map(|s| s.stage.clone());
+
+        let mut tenants: Vec<(String, f64)> = self
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.name == names::ENGINE_OUTSTANDING)
+            .filter_map(|(k, g)| {
+                k.label("function")
+                    .map(|f| (f.to_string(), g.mean_over(self.started, now)))
+            })
+            .collect();
+        tenants.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        tenants.truncate(top_k);
+
+        BottleneckReport {
+            window,
+            stages: stage_rows,
+            saturated,
+            top_tenants: tenants,
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cheaply clonable, possibly-disabled reference to a registry.
+///
+/// Disabled handles make every access a no-op, so metrics-off runs are
+/// bit-identical to a tree without the instrumentation (the same
+/// contract as [`TelemetryHandle`](crate::telemetry::TelemetryHandle)).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHandle(Option<Rc<RefCell<MetricsRegistry>>>);
+
+impl MetricsHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        MetricsHandle(None)
+    }
+
+    /// A live handle over a fresh registry.
+    pub fn enabled() -> Self {
+        MetricsHandle(Some(Rc::new(RefCell::new(MetricsRegistry::new()))))
+    }
+
+    /// A live handle with a custom per-series capacity.
+    pub fn enabled_with_capacity(series_capacity: usize) -> Self {
+        MetricsHandle(Some(Rc::new(RefCell::new(MetricsRegistry::with_capacity(
+            series_capacity,
+        )))))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Runs `f` with mutable access to the registry, if enabled.
+    pub fn with<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+        self.0.as_ref().map(|r| f(&mut r.borrow_mut()))
+    }
+
+    /// Runs `f` with shared access to the registry, if enabled.
+    pub fn read<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
+        self.0.as_ref().map(|r| f(&r.borrow()))
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Renders the registry as Prometheus text-format exposition
+/// (counters and gauges; series are exported via [`csv`]). Annotations
+/// and sampler health appear as trailing comments. Deterministic: keys
+/// are emitted in `BTreeMap` order.
+pub fn prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for (key, value) in reg.counters() {
+        if key.name != last_name {
+            let _ = writeln!(out, "# TYPE {} counter", key.name);
+            last_name = key.name;
+        }
+        let _ = writeln!(out, "{} {}", key.render(), value);
+    }
+    last_name = "";
+    for (key, gauge) in reg.gauges() {
+        if key.name != last_name {
+            let _ = writeln!(out, "# TYPE {} gauge", key.name);
+            last_name = key.name;
+        }
+        let _ = writeln!(out, "{} {}", key.render(), fmt_f64(gauge.value()));
+    }
+    last_name = "";
+    for (key, gauge) in reg.gauges() {
+        let peak_name = format!("{}_peak", key.name);
+        if key.name != last_name {
+            let _ = writeln!(out, "# TYPE {peak_name} gauge");
+            last_name = key.name;
+        }
+        let _ = writeln!(
+            out,
+            "{} {}",
+            key.render_as(&peak_name),
+            fmt_f64(gauge.peak())
+        );
+    }
+    let _ = writeln!(out, "# TYPE bm_metrics_sample_ticks counter");
+    let _ = writeln!(out, "bm_metrics_sample_ticks {}", reg.sample_ticks());
+    let _ = writeln!(out, "# TYPE bm_metrics_series_dropped counter");
+    let _ = writeln!(out, "bm_metrics_series_dropped {}", reg.series_dropped());
+    for a in reg.annotations() {
+        let end = a
+            .end
+            .map(|e| e.as_nanos().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "# ANNOTATION {} {} {}",
+            a.start.as_nanos(),
+            end,
+            a.label
+        );
+    }
+    out
+}
+
+/// Renders every bounded series as CSV: `series,t_ns,value`, one row
+/// per sample, keys in `BTreeMap` order.
+pub fn csv(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("series,t_ns,value\n");
+    for (key, series) in reg.series_iter() {
+        let rendered = key.render();
+        for (at, v) in series.points() {
+            let _ = writeln!(out, "\"{}\",{},{}", rendered, at.as_nanos(), fmt_f64(*v));
+        }
+    }
+    out
+}
+
+/// Renders a [`BottleneckReport`] as an aligned text table.
+pub fn render_bottleneck(report: &BottleneckReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "window {:.3} ms; saturated stage: {}",
+        report.window.as_secs_f64() * 1e3,
+        report.saturated.as_deref().unwrap_or("(idle)")
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "stage", "arrivals", "lambda/s", "mean L", "W (us)", "util %"
+    );
+    for s in &report.stages {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12.0} {:>10.3} {:>12.1} {:>12.1}",
+            s.stage,
+            s.arrivals,
+            s.arrival_rate_per_s,
+            s.occupancy,
+            s.implied_latency.as_micros_f64(),
+            100.0 * s.occupancy.min(1.0),
+        );
+    }
+    if !report.top_tenants.is_empty() {
+        let _ = writeln!(out, "top tenants by mean pipeline occupancy:");
+        for (tenant, l) in &report.top_tenants {
+            let _ = writeln!(out, "  {tenant:<12} {l:>8.3}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000)
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::labeled(names::ENGINE_STARTED, "function", 0);
+        assert_eq!(reg.counter(&key), 0);
+        reg.counter_add(key.clone(), 2);
+        reg.counter_add(key.clone(), 3);
+        assert_eq!(reg.counter(&key), 5);
+    }
+
+    #[test]
+    fn gauge_integral_gives_time_weighted_mean() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::new("depth");
+        // 0..10µs at 4, 10..20µs at 8 → mean 6 over 20µs.
+        reg.gauge_set(us(0), key.clone(), 4.0);
+        reg.gauge_set(us(10), key.clone(), 8.0);
+        let g = reg.gauge(&key).unwrap();
+        assert_eq!(g.value(), 8.0);
+        assert_eq!(g.peak(), 8.0);
+        let mean = g.mean_over(SimTime::ZERO, us(20));
+        assert!((mean - 6.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn gauge_created_mid_window_counts_zero_before() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::new("depth");
+        reg.gauge_set(us(10), key.clone(), 10.0);
+        // 0..10µs implicit zero, 10..20µs at 10 → mean 5.
+        let mean = reg.gauge(&key).unwrap().mean_over(SimTime::ZERO, us(20));
+        assert!((mean - 5.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_series_counts_overflow() {
+        let mut reg = MetricsRegistry::with_capacity(2);
+        let key = MetricKey::new("s");
+        for i in 0..5u64 {
+            reg.sample(us(i), key.clone(), i as f64);
+        }
+        let s = reg.series(&key).unwrap();
+        assert_eq!(s.points().len(), 2);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(reg.series_dropped(), 3);
+    }
+
+    #[test]
+    fn bottleneck_names_busiest_stage_and_obeys_littles_law() {
+        let mut reg = MetricsRegistry::new();
+        // 100 commands × 80µs in the SSD, 100 × 1µs in the front end,
+        // over a 1ms window: L_ssd = 8, W_ssd = 80µs, λ = 100k/s.
+        reg.stage_busy(stages::SSD, SimDuration::from_us(80) * 100, 100);
+        reg.stage_busy(stages::FRONT_END, SimDuration::from_us(1) * 100, 100);
+        let report = reg.bottleneck_report(us(1_000), 4);
+        assert_eq!(report.saturated.as_deref(), Some(stages::SSD));
+        let ssd = &report.stages[0];
+        assert_eq!(ssd.arrivals, 100);
+        assert!((ssd.occupancy - 8.0).abs() < 1e-9);
+        assert!((ssd.arrival_rate_per_s - 100_000.0).abs() < 1e-6);
+        assert_eq!(ssd.implied_latency, SimDuration::from_us(80));
+        // Little's law: L = λ · W.
+        let lw = ssd.arrival_rate_per_s * ssd.implied_latency.as_secs_f64();
+        assert!((ssd.occupancy - lw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_ranks_tenants_by_mean_occupancy() {
+        let mut reg = MetricsRegistry::new();
+        for (f, depth) in [(0u8, 2.0), (1, 9.0), (2, 4.0)] {
+            let key = MetricKey::labeled(names::ENGINE_OUTSTANDING, "function", format!("f{f}"));
+            reg.gauge_set(us(0), key, depth);
+        }
+        let report = reg.bottleneck_report(us(100), 2);
+        assert_eq!(report.top_tenants.len(), 2);
+        assert_eq!(report.top_tenants[0].0, "f1");
+        assert_eq!(report.top_tenants[1].0, "f2");
+    }
+
+    #[test]
+    fn idle_registry_reports_no_saturation() {
+        let reg = MetricsRegistry::new();
+        let report = reg.bottleneck_report(us(10), 4);
+        assert!(report.saturated.is_none());
+        assert!(report.stages.is_empty());
+        // The renderer copes with an empty report.
+        assert!(render_bottleneck(&report).contains("(idle)"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic_and_typed() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(MetricKey::labeled(names::SSD_OPS, "ssd", 1), 7);
+        reg.counter_add(MetricKey::labeled(names::SSD_OPS, "ssd", 0), 3);
+        reg.gauge_set(us(5), MetricKey::new(names::DMA_INFLIGHT_BYTES), 4096.0);
+        reg.annotate(us(1), Some(us(2)), "fault: spike ssd0");
+        let text = prometheus(&reg);
+        let again = prometheus(&reg);
+        assert_eq!(text, again);
+        assert!(text.contains("# TYPE bm_ssd_service_ops_total counter"));
+        // BTreeMap order: ssd="0" before ssd="1".
+        let a = text.find("ssd=\"0\"").unwrap();
+        let b = text.find("ssd=\"1\"").unwrap();
+        assert!(a < b);
+        assert!(text.contains("bm_dma_inflight_bytes 4096"));
+        assert!(text.contains("bm_dma_inflight_bytes_peak 4096"));
+        assert!(text.contains("# ANNOTATION 1000 2000 fault: spike ssd0"));
+    }
+
+    #[test]
+    fn csv_lists_every_sample() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::labeled(names::BACKEND_INFLIGHT, "ssd", 0);
+        reg.sample(us(1), key.clone(), 3.0);
+        reg.sample(us(2), key, 5.0);
+        let text = csv(&reg);
+        assert!(text.starts_with("series,t_ns,value\n"));
+        assert!(text.contains("\"bm_backend_sq_inflight{ssd=\"0\"}\",1000,3"));
+        assert!(text.contains("\"bm_backend_sq_inflight{ssd=\"0\"}\",2000,5"));
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = MetricsHandle::disabled();
+        assert!(!h.is_enabled());
+        assert!(h.with(|r| r.counter_add(MetricKey::new("x"), 1)).is_none());
+        assert!(h.read(|r| r.sample_ticks()).is_none());
+    }
+
+    #[test]
+    fn handle_clones_share_the_registry() {
+        let h = MetricsHandle::enabled();
+        let h2 = h.clone();
+        h.with(|r| r.counter_add(MetricKey::new("x"), 1));
+        h2.with(|r| r.counter_add(MetricKey::new("x"), 2));
+        assert_eq!(h.read(|r| r.counter(&MetricKey::new("x"))), Some(3));
+    }
+
+    #[test]
+    fn sample_ticks_and_last_sample_track_the_sampler() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.sample_ticks(), 0);
+        reg.mark_sample_tick(us(10));
+        reg.mark_sample_tick(us(20));
+        assert_eq!(reg.sample_ticks(), 2);
+        assert_eq!(reg.last_sample(), Some(us(20)));
+    }
+}

@@ -150,6 +150,21 @@ struct FaultState {
     dropped: u64,
 }
 
+/// Cumulative device-service accounting: every completion's internal
+/// service interval (`at - submitted_at`, injected spikes included)
+/// summed over the run. `busy / elapsed` is the service-time occupancy
+/// the metrics sampler turns into the SSD utilization series; it can
+/// exceed 1.0 while multiple flash dies service commands in parallel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Commands serviced (error completions included).
+    pub ops: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Summed service intervals.
+    pub busy: SimDuration,
+}
+
 /// The SSD device model.
 ///
 /// See the [crate documentation](crate) for the composition and
@@ -167,6 +182,7 @@ pub struct Ssd {
     /// End LBA of the most recent read (sequential-stream detection for
     /// mechanical profiles).
     last_read_end: u64,
+    service: ServiceStats,
     faults: FaultState,
 }
 
@@ -207,6 +223,7 @@ impl Ssd {
             fetched: 0,
             errors: 0,
             last_read_end: u64::MAX,
+            service: ServiceStats::default(),
             faults: FaultState::default(),
             cfg,
         }
@@ -250,6 +267,11 @@ impl Ssd {
     /// Commands completed with error status.
     pub fn errors(&self) -> u64 {
         self.errors
+    }
+
+    /// Cumulative service-time accounting (see [`ServiceStats`]).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.service
     }
 
     /// Arms a latency spike: completions of commands arriving before
@@ -387,6 +409,11 @@ impl Ssd {
                     });
                 }
             }
+        }
+        for io in &out {
+            self.service.ops += 1;
+            self.service.bytes += io.bytes;
+            self.service.busy += io.at.saturating_since(io.submitted_at);
         }
         out
     }

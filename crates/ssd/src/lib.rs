@@ -35,7 +35,7 @@ pub mod perf;
 pub mod store;
 
 pub use calibration::PerfProfile;
-pub use device::{CompletedIo, DataMode, Ssd, SsdConfig, SsdId};
+pub use device::{CompletedIo, DataMode, ServiceStats, Ssd, SsdConfig, SsdId};
 pub use firmware::{CommitAction, FirmwareBank};
 pub use perf::PerfModel;
 pub use store::BlockStore;

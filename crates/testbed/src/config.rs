@@ -112,6 +112,13 @@ pub struct TestbedConfig {
     /// inert — no events are recorded and no state is touched — so
     /// telemetry-off runs are bit-identical to builds without it.
     pub telemetry: bool,
+    /// Enables the metrics registry and its periodic sampler (counters,
+    /// gauges, bounded time series, bottleneck report). Same inert-off
+    /// discipline as `telemetry`: disabled runs are bit-identical.
+    pub metrics: bool,
+    /// Sampling period of the metrics time-series event (ignored when
+    /// `metrics` is off).
+    pub metrics_interval: SimDuration,
 }
 
 impl TestbedConfig {
@@ -133,6 +140,8 @@ impl TestbedConfig {
             command_timeout: None,
             engine_fail_policy: FailPolicy::AbortToHost,
             telemetry: false,
+            metrics: false,
+            metrics_interval: SimDuration::from_us(20),
         }
     }
 
@@ -199,6 +208,19 @@ impl TestbedConfig {
     /// Enables the telemetry recorder.
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Enables the metrics registry and periodic sampler.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Overrides the metrics sampling period (implies [`Self::with_metrics`]).
+    pub fn with_metrics_interval(mut self, interval: SimDuration) -> Self {
+        self.metrics = true;
+        self.metrics_interval = interval;
         self
     }
 }

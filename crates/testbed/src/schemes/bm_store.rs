@@ -36,6 +36,7 @@ pub(crate) fn build(ctx: &mut BuildCtx, in_vm: bool) -> Box<dyn Scheme> {
     }
     let mut engine = Box::new(BmsEngine::new(engine_cfg));
     engine.set_telemetry(ctx.telemetry.clone());
+    engine.set_metrics(ctx.metrics.clone());
     let controller = Box::new(BmsController::new(bm_pcie::mctp::Eid(8)));
     for (i, ssd) in ctx.ssds.iter_mut().enumerate() {
         let (sq, cq) = engine.ssd_rings(SsdId(i as u8));

@@ -37,6 +37,7 @@ use bm_nvme::queue::{CompletionQueue, SubmissionQueue};
 use bm_nvme::types::{Cid, Lba, QueueId};
 use bm_nvme::Status;
 use bm_pcie::{FunctionId, HostMemory};
+use bm_sim::metrics::MetricsHandle;
 use bm_sim::telemetry::TelemetryHandle;
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::{CompletedIo, Ssd, SsdId};
@@ -59,6 +60,10 @@ pub(crate) struct BuildCtx<'a> {
     /// [`TestbedConfig::telemetry`] is set); schemes that record
     /// per-stage spans clone it into their engine.
     pub(crate) telemetry: &'a TelemetryHandle,
+    /// The world's metrics registry handle (disabled unless
+    /// [`TestbedConfig::metrics`] is set); schemes that account stage
+    /// busy time clone it into their engine.
+    pub(crate) metrics: &'a MetricsHandle,
 }
 
 impl BuildCtx<'_> {

@@ -36,6 +36,7 @@ use bm_nvme::Status;
 use bm_pcie::mctp::Eid;
 use bm_pcie::{HostMemory, PciAddr};
 use bm_sim::faults::FaultKind;
+use bm_sim::metrics::{names as metric_names, MetricKey, MetricsHandle};
 use bm_sim::resource::FifoServer;
 use bm_sim::telemetry::{TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
@@ -114,6 +115,7 @@ pub struct Testbed {
     devices: Vec<Device>,
     buffers: Vec<PrpPair>,
     telemetry: TelemetryHandle,
+    metrics: MetricsHandle,
     #[allow(dead_code)]
     rng: SimRng,
 }
@@ -144,6 +146,11 @@ impl Testbed {
         } else {
             TelemetryHandle::disabled()
         };
+        let metrics = if cfg.metrics {
+            MetricsHandle::enabled()
+        } else {
+            MetricsHandle::disabled()
+        };
         let scheme = {
             let mut ctx = BuildCtx {
                 cfg: &cfg,
@@ -152,6 +159,7 @@ impl Testbed {
                 ssds: &mut ssds,
                 devices: &mut devices,
                 telemetry: &telemetry,
+                metrics: &metrics,
             };
             match ctx.cfg.scheme.clone() {
                 SchemeKind::Native => schemes::native::build(&mut ctx),
@@ -167,6 +175,7 @@ impl Testbed {
             devices,
             buffers: Vec::new(),
             telemetry,
+            metrics,
             rng: rng.fork(0xBEEF),
             host_mem,
             cpu,
@@ -224,6 +233,12 @@ impl Testbed {
     /// `telemetry` flag was set).
     pub fn telemetry(&self) -> &TelemetryHandle {
         &self.telemetry
+    }
+
+    /// The metrics registry handle (disabled unless the config's
+    /// `metrics` flag was set).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Access to the BMS-Engine when running the BM-Store scheme.
@@ -393,6 +408,12 @@ impl World {
         }
         for (at, f) in raw {
             sim.schedule_at(at, f);
+        }
+        if sim.world().tb.metrics.is_enabled() {
+            let interval = sim.world().tb.cfg.metrics_interval;
+            sim.schedule_at(SimTime::ZERO, move |w: &mut World, s| {
+                w.sample_metrics(s, interval);
+            });
         }
         match deadline {
             Some(t) => {
@@ -680,6 +701,22 @@ impl World {
             }
         }
         self.observe_fault(now, &FaultTraceEvent::Injected(kind));
+        // Fault windows annotate the metrics timeline, so utilization
+        // excursions in the report line up with their cause.
+        if self.tb.metrics.is_enabled() {
+            let (end, label) = match kind {
+                FaultKind::SsdLatencySpike { until, .. } => {
+                    (Some(until), "fault:ssd-latency-spike")
+                }
+                FaultKind::SsdStall { until, .. } => (Some(until), "fault:ssd-stall"),
+                FaultKind::SsdDeath { .. } => (None, "fault:ssd-death"),
+                FaultKind::SsdErrorBurst { until, .. } => (Some(until), "fault:ssd-error-burst"),
+                FaultKind::SsdDropCommands { .. } => (None, "fault:ssd-drop-commands"),
+                FaultKind::MctpDrop { .. } => (None, "fault:mctp-drop"),
+                FaultKind::LinkRetrain { until } => (Some(until), "fault:link-retrain"),
+            };
+            self.tb.metrics.with(|m| m.annotate(now, end, label));
+        }
         // Fault injections appear in the exported trace as instants, so
         // latency excursions can be lined up with their cause.
         self.tb.telemetry.event(
@@ -691,6 +728,109 @@ impl World {
                 label: "fault-injected",
             },
         );
+    }
+
+    /// The periodic metrics sampler: refreshes occupancy gauges from
+    /// every layer, snapshots all gauges into their bounded series, and
+    /// re-arms itself. It stops once the event queue is otherwise empty
+    /// — in a drained discrete-event simulation nothing can schedule
+    /// new work, so rescheduling would keep `run_until_idle` alive
+    /// forever.
+    fn sample_metrics(&mut self, s: &mut Scheduler<World>, interval: SimDuration) {
+        let now = s.now();
+        self.record_metric_sample(now);
+        if s.pending() == 0 {
+            return;
+        }
+        s.schedule_at(now + interval, move |w: &mut World, s| {
+            w.sample_metrics(s, interval);
+        });
+    }
+
+    /// One sampling tick: read live occupancy state into gauges and
+    /// cumulative-tally series. The sampler only *reads* the pipeline
+    /// (ports, backlogs, device queues, SSD service tallies); the few
+    /// event-time pushes (stage busy, MCTP counters) happen where the
+    /// events fire.
+    fn record_metric_sample(&mut self, now: SimTime) {
+        let handle = self.tb.metrics.clone();
+        if handle.with(|m| m.mark_sample_tick(now)).is_none() {
+            return;
+        }
+        // Host-side tenant queues (every scheme).
+        for (i, dev) in self.tb.devices.iter().enumerate() {
+            let inflight = dev.pending.len() as f64;
+            let waiting = dev.waiting.len() as f64;
+            handle.with(|m| {
+                m.gauge_set(
+                    now,
+                    MetricKey::labeled(metric_names::HOST_SQ_INFLIGHT, "function", i),
+                    inflight,
+                );
+                m.gauge_set(
+                    now,
+                    MetricKey::labeled(metric_names::HOST_SQ_WAITING, "function", i),
+                    waiting,
+                );
+            });
+        }
+        // SSD service tallies (cumulative counters, sampled as series so
+        // windowed service-time utilization falls out of any two ticks).
+        for (i, ssd) in self.tb.ssds.iter().enumerate() {
+            let stats = ssd.service_stats();
+            handle.with(|m| {
+                m.sample(
+                    now,
+                    MetricKey::labeled(metric_names::SSD_BUSY_NS, "ssd", i),
+                    stats.busy.as_nanos() as f64,
+                );
+                m.sample(
+                    now,
+                    MetricKey::labeled(metric_names::SSD_OPS, "ssd", i),
+                    stats.ops as f64,
+                );
+            });
+        }
+        // BM-Store engine: per-port occupancy and the conservation
+        // tallies (live == forwarded - completed - abandoned).
+        if let Some(engine) = self.tb.engine() {
+            for (i, port) in engine.adaptor().ports().enumerate() {
+                let backlog = engine.backlog_len(SsdId(i as u8)) as f64;
+                let inflight = port.inflight() as f64;
+                let live = port.live() as f64;
+                let zombies = port.zombie_count() as f64;
+                let bytes = port.inflight_bytes() as f64;
+                let forwarded = port.forwarded() as f64;
+                let completed = port.completed() as f64;
+                let abandoned = port.abandoned() as f64;
+                handle.with(|m| {
+                    let ssd_key = |name| MetricKey::labeled(name, "ssd", i);
+                    m.gauge_set(now, ssd_key(metric_names::DOORBELL_BACKLOG), backlog);
+                    m.gauge_set(now, ssd_key(metric_names::BACKEND_INFLIGHT), inflight);
+                    m.gauge_set(now, ssd_key(metric_names::BACKEND_LIVE), live);
+                    m.gauge_set(now, ssd_key(metric_names::BACKEND_ZOMBIES), zombies);
+                    m.gauge_set(now, ssd_key(metric_names::DMA_INFLIGHT_BYTES), bytes);
+                    m.sample(now, ssd_key(metric_names::BACKEND_FORWARDED), forwarded);
+                    m.sample(now, ssd_key(metric_names::BACKEND_COMPLETED), completed);
+                    m.sample(now, ssd_key(metric_names::BACKEND_ABANDONED), abandoned);
+                });
+            }
+        }
+        // Management plane: torn reassemblies pending at the controller.
+        if let Some(controller) = self.tb.controller() {
+            let partials = controller.assembler().in_progress() as f64;
+            handle.with(|m| {
+                m.gauge_set(now, MetricKey::new(metric_names::MCTP_PARTIALS), partials);
+            });
+        }
+        // Snapshot every gauge into its series at this tick.
+        handle.with(|m| {
+            let snapshot: Vec<(MetricKey, f64)> =
+                m.gauges().map(|(k, g)| (k.clone(), g.value())).collect();
+            for (key, value) in snapshot {
+                m.sample(now, key, value);
+            }
+        });
     }
 
     /// Interrupt arrives at the host/guest: consume the CQE, ack it
@@ -852,6 +992,14 @@ impl World {
             for _ in 0..dropped {
                 self.observe_fault(now, &FaultTraceEvent::MctpPacketDropped);
             }
+            if dropped > 0 {
+                self.tb.metrics.with(|m| {
+                    m.counter_add(
+                        MetricKey::new(metric_names::MCTP_DROPPED),
+                        u64::from(dropped),
+                    )
+                });
+            }
             if dropped == 0 {
                 self.handle_controller_actions(s, actions);
                 return;
@@ -864,6 +1012,9 @@ impl World {
             }
             attempt += 1;
             self.observe_fault(now, &FaultTraceEvent::MctpRetransmit { attempt });
+            self.tb
+                .metrics
+                .with(|m| m.counter_add(MetricKey::new(metric_names::MCTP_RETRANSMITS), 1));
         }
     }
 

@@ -6,6 +6,10 @@
 # Pass --telemetry to also run the telemetry report (telemetry_report),
 # which prints the per-tenant/per-stage latency breakdown and the
 # out-of-band NVMe-MI scrape tables.
+# Pass --metrics to also run the bench report (bench_report), which
+# profiles the fig08/09/10/12 BM-Store workloads with the metrics
+# registry on and writes BENCH_BMSTORE.json (the regression compare
+# against bench-baseline.json runs in the preflight).
 # Pass --lint to also print every bm-lint finding (the ratchet check
 # itself already runs as part of the preflight).
 # Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
@@ -16,6 +20,7 @@ if [ "${SKIP_CHECKS:-0}" != "1" ]; then
 fi
 with_faults=0
 with_telemetry=0
+with_metrics=0
 with_lint=0
 figure_args=""
 for arg in "$@"; do
@@ -23,6 +28,8 @@ for arg in "$@"; do
         with_faults=1
     elif [ "$arg" = "--telemetry" ]; then
         with_telemetry=1
+    elif [ "$arg" = "--metrics" ]; then
+        with_metrics=1
     elif [ "$arg" = "--lint" ]; then
         with_lint=1
     else
@@ -39,6 +46,12 @@ if [ "$with_faults" = "1" ]; then
 fi
 if [ "$with_telemetry" = "1" ]; then
     cargo run --release -q -p bm-bench --bin telemetry_report -- "$@"
+fi
+if [ "$with_metrics" = "1" ]; then
+    # The gated compare against bench-baseline.json happens in the
+    # preflight (quick mode); the sweep just produces the report at the
+    # requested scale.
+    cargo run --release -q -p bm-bench --bin bench_report -- "$@"
 fi
 for bin in fig01_spdk_cores table02_fpga_resources fig08_baremetal \
            table06_os_matrix fig09_vm_perf fig10_scalability fig11_multivm \

@@ -36,6 +36,14 @@ echo "==> telemetry smoke (release)"
 # spike to the stage (and tenant) that absorbed it.
 cargo run --release -q -p bm-bench --bin telemetry_smoke
 
+echo "==> bench report regression gate (release, --quick)"
+# The performance contract: the fig08/09/10/12 BM-Store envelope
+# (throughput, p50/p99, peak queue depth, saturated stage) must stay
+# inside bench-baseline.json's tolerances. Writes BENCH_BMSTORE.json as
+# a side effect; regenerate the baseline after an intentional perf
+# change with --write-baseline bench-baseline.json.
+cargo run --release -q -p bm-bench --bin bench_report -- --quick --baseline bench-baseline.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
