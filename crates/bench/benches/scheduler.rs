@@ -1,0 +1,76 @@
+//! Microbenchmarks of the timer-wheel scheduler — the event core every
+//! experiment run spins on. Throughput here bounds how fast the whole
+//! harness can retire simulated work.
+
+use bm_sim::{SimDuration, Simulation};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+struct Counter {
+    fired: u64,
+}
+
+/// Steady-state schedule/pop churn: a fixed population of near-future
+/// events where every pop schedules a successor, the pattern the device
+/// models produce. Arena recycling keeps this allocation-free.
+fn bench_schedule_pop_churn(c: &mut Criterion) {
+    c.bench_function("scheduler_schedule_pop_churn", |b| {
+        let mut sim = Simulation::new(Counter { fired: 0 });
+        // Warm the arena with a standing population.
+        for i in 0..256u64 {
+            sim.schedule_in(SimDuration::from_nanos(100 + i), |w: &mut Counter, s| {
+                w.fired += 1;
+                s.schedule_in(SimDuration::from_nanos(500), |w: &mut Counter, s| {
+                    w.fired += 1;
+                    s.schedule_in(SimDuration::from_nanos(500), |w: &mut Counter, _| {
+                        w.fired += 1;
+                    });
+                });
+            });
+        }
+        b.iter(|| {
+            // Each step fires one event; chained re-scheduling keeps the
+            // population alive across iterations.
+            if !sim.step() {
+                for i in 0..256u64 {
+                    sim.schedule_in(SimDuration::from_nanos(100 + i), |w: &mut Counter, s| {
+                        w.fired += 1;
+                        s.schedule_in(SimDuration::from_nanos(500), |w: &mut Counter, s| {
+                            w.fired += 1;
+                            s.schedule_in(SimDuration::from_nanos(500), |w: &mut Counter, _| {
+                                w.fired += 1;
+                            });
+                        });
+                    });
+                }
+            }
+            black_box(sim.world().fired)
+        })
+    });
+}
+
+/// Burst insert then drain: models a doorbell sweep scheduling a batch
+/// of completions, then the loop retiring them in time order.
+fn bench_burst_insert_drain(c: &mut Criterion) {
+    c.bench_function("scheduler_burst_64_insert_drain", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Counter { fired: 0 });
+            for i in 0..64u64 {
+                // Mixed horizons: same-tick ties, near future, one far.
+                let ns = match i % 4 {
+                    0 => 1_000,
+                    1 => 1_000 + i,
+                    2 => 50_000 + i * 13,
+                    _ => 10_000_000 + i,
+                };
+                sim.schedule_in(SimDuration::from_nanos(ns), |w: &mut Counter, _| {
+                    w.fired += 1;
+                });
+            }
+            sim.run_until_idle();
+            black_box(sim.world().fired)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule_pop_churn, bench_burst_insert_drain);
+criterion_main!(benches);

@@ -25,7 +25,14 @@ use bm_testbed::{SchemeKind, TestbedConfig};
 use bm_workloads::fio::{aggregate, run_fio, FioSpec};
 
 fn run_case(name: &str, cfg: TestbedConfig, spec: FioSpec) -> BenchCase {
+    let started = std::time::Instant::now();
     let (results, world) = run_fio(cfg.with_metrics(), spec);
+    let wall = started.elapsed().as_secs_f64();
+    let events_per_sec = if wall > 0.0 {
+        world.events_fired as f64 / wall
+    } else {
+        0.0
+    };
     let agg = aggregate(&results);
     let (stages, saturated, peak_qd) = world
         .tb
@@ -55,6 +62,8 @@ fn run_case(name: &str, cfg: TestbedConfig, spec: FioSpec) -> BenchCase {
         p50_us: agg.p50.as_micros_f64(),
         p99_us: agg.p99.as_micros_f64(),
         peak_queue_depth: peak_qd,
+        events_per_sec,
+        peak_event_queue: world.peak_event_queue as f64,
         saturated_stage: saturated,
         stages,
     }
@@ -89,7 +98,7 @@ fn build_report() -> BenchReport {
         ),
     ];
     BenchReport {
-        schema: 1,
+        schema: 2,
         quick: quick(),
         cases,
     }
@@ -112,7 +121,7 @@ fn main() {
 
     header(
         "bench_report: BM-Store envelope",
-        &["IOPS", "p50", "p99", "peak QD", "bottleneck"],
+        &["IOPS", "p50", "p99", "peak QD", "Mev/s", "bottleneck"],
     );
     for c in &report.cases {
         row(
@@ -122,6 +131,7 @@ fn main() {
                 fmt_lat(bm_sim::SimDuration::from_nanos((c.p50_us * 1e3) as u64)),
                 fmt_lat(bm_sim::SimDuration::from_nanos((c.p99_us * 1e3) as u64)),
                 format!("{:.0}", c.peak_queue_depth),
+                format!("{:.2}", c.events_per_sec / 1e6),
                 c.saturated_stage.clone(),
             ],
         );

@@ -2,8 +2,10 @@
 //!
 //! [`BenchReport`] is the machine-readable result of the `bench_report`
 //! binary: one [`BenchCase`] per figure workload, carrying throughput,
-//! tail latency, per-stage utilization and the saturated stage named by
-//! the bottleneck profiler. Reports serialize to a small JSON dialect
+//! tail latency, per-stage utilization, the saturated stage named by
+//! the bottleneck profiler, and the harness's own speed
+//! (`events_per_sec`, gated one-sided as a wall-clock smoke test).
+//! Reports serialize to a small JSON dialect
 //! (objects, arrays, strings, numbers, booleans — written and parsed
 //! here, no external crates) so a committed `bench-baseline.json` can
 //! gate regressions in `scripts/check.sh` via [`compare`].
@@ -29,6 +31,14 @@ pub struct BenchCase {
     pub p99_us: f64,
     /// Peak back-end SQ occupancy over the run.
     pub peak_queue_depth: f64,
+    /// Simulator events retired per host wall-clock second — the
+    /// harness-speed figure the hot-path work optimizes. The only
+    /// wall-clock-derived field in the report; [`compare`] checks it
+    /// one-sided (a faster run never regresses) with a wide tolerance
+    /// to absorb machine noise.
+    pub events_per_sec: f64,
+    /// Peak simulator event-queue depth over the run (deterministic).
+    pub peak_event_queue: f64,
     /// The stage the bottleneck profiler named (empty if idle).
     pub saturated_stage: String,
     /// Per-stage occupancy (busy time / elapsed), profiler order.
@@ -56,6 +66,11 @@ pub struct Tolerances {
     pub latency_rel: f64,
     /// Peak queue depth relative tolerance.
     pub queue_rel: f64,
+    /// Events-per-second one-sided tolerance: only a drop below
+    /// `baseline * (1 - events_rel)` is a violation. Wide, because this
+    /// is the one wall-clock-derived metric and shares the machine with
+    /// whatever else is running.
+    pub events_rel: f64,
 }
 
 impl Default for Tolerances {
@@ -64,6 +79,7 @@ impl Default for Tolerances {
             throughput_rel: 0.05,
             latency_rel: 0.10,
             queue_rel: 0.25,
+            events_rel: 0.40,
         }
     }
 }
@@ -123,6 +139,10 @@ impl BenchReport {
             json_num(c.p99_us, &mut s);
             s.push_str(",\n      \"peak_queue_depth\": ");
             json_num(c.peak_queue_depth, &mut s);
+            s.push_str(",\n      \"events_per_sec\": ");
+            json_num(c.events_per_sec, &mut s);
+            s.push_str(",\n      \"peak_event_queue\": ");
+            json_num(c.peak_event_queue, &mut s);
             s.push_str(",\n      \"saturated_stage\": ");
             json_escape(&c.saturated_stage, &mut s);
             s.push_str(",\n      \"stages\": [");
@@ -185,6 +205,12 @@ impl BenchReport {
                 peak_queue_depth: c
                     .field("peak_queue_depth", "case")?
                     .as_f64("peak_queue_depth")?,
+                events_per_sec: c
+                    .field("events_per_sec", "case")?
+                    .as_f64("events_per_sec")?,
+                peak_event_queue: c
+                    .field("peak_event_queue", "case")?
+                    .as_f64("peak_event_queue")?,
                 saturated_stage: c
                     .field("saturated_stage", "case")?
                     .as_str("saturated_stage")?
@@ -544,6 +570,26 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: Tolerances) -
             b.peak_queue_depth,
             tol.queue_rel,
         );
+        check_rel(
+            &mut out,
+            &b.name,
+            "peak_event_queue",
+            c.peak_event_queue,
+            b.peak_event_queue,
+            tol.queue_rel,
+        );
+        // One-sided: the harness getting faster is never a regression.
+        let floor = b.events_per_sec * (1.0 - tol.events_rel);
+        if c.events_per_sec < floor {
+            out.push(format!(
+                "{}: events_per_sec {:.0} below baseline {:.0} \
+                 (allowed -{:.0}%; wall-clock smoke gate)",
+                b.name,
+                c.events_per_sec,
+                b.events_per_sec,
+                tol.events_rel * 100.0
+            ));
+        }
         if c.saturated_stage != b.saturated_stage {
             out.push(format!(
                 "{}: saturated stage changed: {:?} vs baseline {:?}",
@@ -568,7 +614,7 @@ mod tests {
 
     fn sample() -> BenchReport {
         BenchReport {
-            schema: 1,
+            schema: 2,
             quick: true,
             cases: vec![
                 BenchCase {
@@ -578,6 +624,8 @@ mod tests {
                     p50_us: 812.5,
                     p99_us: 1200.0,
                     peak_queue_depth: 128.0,
+                    events_per_sec: 2_500_000.0,
+                    peak_event_queue: 260.0,
                     saturated_stage: "ssd".into(),
                     stages: vec![("ssd".into(), 112.4), ("front_end".into(), 0.11)],
                 },
@@ -588,6 +636,8 @@ mod tests {
                     p50_us: 80.0,
                     p99_us: 95.0,
                     peak_queue_depth: 4.0,
+                    events_per_sec: 800_000.0,
+                    peak_event_queue: 16.0,
                     saturated_stage: String::new(),
                     stages: vec![],
                 },
@@ -605,9 +655,10 @@ mod tests {
 
     #[test]
     fn parser_accepts_escapes_and_whitespace() {
-        let text = "{ \"schema\": 1, \"quick\": false,\n \"cases\": [ {\n\
+        let text = "{ \"schema\": 2, \"quick\": false,\n \"cases\": [ {\n\
                     \"name\": \"a\\\"b\\u0041\", \"iops\": 1e3, \"bandwidth_mbps\": -2.5,\n\
                     \"p50_us\": 0.125, \"p99_us\": 4, \"peak_queue_depth\": 0,\n\
+                    \"events_per_sec\": 1e6, \"peak_event_queue\": 12,\n\
                     \"saturated_stage\": \"\", \"stages\": [] } ] }";
         let r = BenchReport::from_json(text).expect("parses");
         assert_eq!(r.cases[0].name, "a\"bA");
@@ -645,6 +696,25 @@ mod tests {
         let mut cur = sample();
         cur.cases[0].iops *= 1.02;
         cur.cases[0].p99_us *= 1.05;
+        assert!(compare(&cur, &base, Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn events_per_sec_gate_is_one_sided() {
+        let base = sample();
+        // A much faster harness never violates.
+        let mut cur = sample();
+        cur.cases[0].events_per_sec *= 5.0;
+        assert!(compare(&cur, &base, Tolerances::default()).is_empty());
+        // Dropping below 60% of the baseline does.
+        let mut cur = sample();
+        cur.cases[0].events_per_sec *= 0.50;
+        let violations = compare(&cur, &base, Tolerances::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("events_per_sec"));
+        // A drop inside the 40% budget passes.
+        let mut cur = sample();
+        cur.cases[0].events_per_sec *= 0.70;
         assert!(compare(&cur, &base, Tolerances::default()).is_empty());
     }
 

@@ -14,12 +14,22 @@ fn committed_baseline() -> BenchReport {
 #[test]
 fn committed_baseline_parses_and_roundtrips() {
     let baseline = committed_baseline();
-    assert_eq!(baseline.schema, 1);
+    assert_eq!(baseline.schema, 2);
     assert!(baseline.quick, "the committed baseline is a --quick run");
     assert_eq!(baseline.cases.len(), 5);
     for case in &baseline.cases {
         assert!(case.iops > 0.0, "{}: iops must be positive", case.name);
         assert!(case.p99_us >= case.p50_us, "{}: p99 < p50", case.name);
+        assert!(
+            case.events_per_sec > 0.0,
+            "{}: events_per_sec must be positive",
+            case.name
+        );
+        assert!(
+            case.peak_event_queue > 0.0,
+            "{}: peak_event_queue must be positive",
+            case.name
+        );
         assert!(
             !case.saturated_stage.is_empty(),
             "{}: profiler must name a bottleneck",
@@ -62,6 +72,23 @@ fn bottleneck_shift_trips_the_gate() {
     let violations = compare(&shifted, &baseline, Tolerances::default());
     assert_eq!(violations.len(), 1, "violations: {violations:?}");
     assert!(violations[0].contains("saturated"));
+}
+
+#[test]
+fn events_per_sec_collapse_trips_the_gate() {
+    let baseline = committed_baseline();
+    // The wall-clock smoke gate is one-sided: halving the harness speed
+    // trips it, a faster run never does.
+    let mut slowed = committed_baseline();
+    slowed.cases[0].events_per_sec *= 0.5;
+    let violations = compare(&slowed, &baseline, Tolerances::default());
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert!(violations[0].contains("events_per_sec"));
+    let mut faster = committed_baseline();
+    for case in &mut faster.cases {
+        case.events_per_sec *= 3.0;
+    }
+    assert!(compare(&faster, &baseline, Tolerances::default()).is_empty());
 }
 
 #[test]

@@ -68,6 +68,11 @@ pub struct BackEndPort {
     forwarded: u64,
     completed: u64,
     abandoned: u64,
+    /// Running tallies mirroring the slot tables, so the metrics
+    /// sampler reads occupancy in O(1) instead of scanning the ring.
+    live_slots: usize,
+    zombie_slots: usize,
+    inflight_payload: u64,
 }
 
 impl fmt::Debug for BackEndPort {
@@ -114,6 +119,9 @@ impl BackEndPort {
             forwarded: 0,
             completed: 0,
             abandoned: 0,
+            live_slots: 0,
+            zombie_slots: 0,
+            inflight_payload: 0,
         }
     }
 
@@ -183,6 +191,8 @@ impl BackEndPort {
     /// [`BackEndPort::has_capacity`]).
     pub fn reserve(&mut self, origin: Outstanding) -> (Cid, PciAddr) {
         let cid = self.free_cids.pop().expect("back-end CID available");
+        self.live_slots += 1;
+        self.inflight_payload += origin.bytes;
         self.outstanding[cid as usize] = Some(origin);
         self.forwarded += 1;
         (Cid(cid), self.list_slots[cid as usize])
@@ -215,6 +225,8 @@ impl BackEndPort {
             self.sq.sync_head(cqe.sq_head);
             let cid = cqe.cid.0;
             if let Some(origin) = self.outstanding[cid as usize].take() {
+                self.live_slots -= 1;
+                self.inflight_payload -= origin.bytes;
                 self.free_cids.push(cid);
                 self.completed += 1;
                 out.push((origin, cqe));
@@ -222,6 +234,7 @@ impl BackEndPort {
                 // Stale completion for a command the timeout machinery
                 // abandoned: swallow it and recycle the slot.
                 self.zombies[cid as usize] = false;
+                self.zombie_slots -= 1;
                 self.free_cids.push(cid);
             }
         }
@@ -242,7 +255,10 @@ impl BackEndPort {
     /// or [`BackEndPort::reap_zombies`] runs after a device swap.
     pub fn abandon(&mut self, cid: Cid) -> Option<Outstanding> {
         let origin = self.outstanding[cid.0 as usize].take()?;
+        self.live_slots -= 1;
+        self.inflight_payload -= origin.bytes;
         self.zombies[cid.0 as usize] = true;
+        self.zombie_slots += 1;
         self.abandoned += 1;
         Some(origin)
     }
@@ -256,6 +272,7 @@ impl BackEndPort {
         for (cid, zombie) in self.zombies.iter_mut().enumerate() {
             if *zombie {
                 *zombie = false;
+                self.zombie_slots -= 1;
                 self.free_cids.push(cid as u16);
                 reaped += 1;
             }
@@ -287,18 +304,37 @@ impl BackEndPort {
     /// instant `live == forwarded - completed - abandoned` — the
     /// conservation identity the metrics sampler and its tests rely on.
     pub fn live(&self) -> usize {
-        self.outstanding.iter().flatten().count()
+        debug_assert_eq!(
+            self.live_slots,
+            self.outstanding.iter().flatten().count(),
+            "live tally out of sync with the slot table"
+        );
+        self.live_slots
     }
 
     /// Slots currently held by zombies awaiting their stale completion.
     pub fn zombie_count(&self) -> usize {
-        self.zombies.iter().filter(|z| **z).count()
+        debug_assert_eq!(
+            self.zombie_slots,
+            self.zombies.iter().filter(|z| **z).count(),
+            "zombie tally out of sync with the slot table"
+        );
+        self.zombie_slots
     }
 
     /// Payload bytes owned by live in-flight commands (the engine's
     /// share of the in-flight DMA byte gauge).
     pub fn inflight_bytes(&self) -> u64 {
-        self.outstanding.iter().flatten().map(|o| o.bytes).sum()
+        debug_assert_eq!(
+            self.inflight_payload,
+            self.outstanding
+                .iter()
+                .flatten()
+                .map(|o| o.bytes)
+                .sum::<u64>(),
+            "payload tally out of sync with the slot table"
+        );
+        self.inflight_payload
     }
 }
 

@@ -405,6 +405,49 @@ pub struct BmsEngine {
     /// Counter/gauge registry shared with the testbed sampler (disabled
     /// by default; same no-op discipline as `telemetry`).
     metrics: MetricsHandle,
+    /// Per-function metric keys, built once so the per-I/O metrics
+    /// blocks never allocate label strings on the hot path.
+    func_metric_keys: Vec<FuncMetricKeys>,
+    /// Reused span buffer for [`Self::forward_io`] (hot path).
+    span_scratch: Vec<(SsdId, Lba, u32, u32)>,
+    /// Reused SQE fetch buffer for [`Self::host_doorbell_write`].
+    sqe_scratch: Vec<Sqe>,
+}
+
+/// Cached per-function metric keys (see [`BmsEngine::func_metric_keys`]).
+struct FuncMetricKeys {
+    started: MetricKey,
+    finished: MetricKey,
+    outstanding: MetricKey,
+}
+
+/// Merges runs of *consecutive* actions one burst produced: back-end
+/// doorbells for the same SSD at the same time keep only the final tail
+/// (ringing once with the last tail sweeps every command the earlier
+/// rings would have), and identical QoS wakeups collapse to one. Only
+/// adjacent actions merge — they carry consecutive event sequence
+/// numbers at the same tick, so nothing can interleave between them and
+/// the surviving event order is unchanged.
+fn coalesce_actions(actions: &mut Vec<EngineAction>) {
+    actions.dedup_by(|later, kept| match (later, kept) {
+        (
+            EngineAction::BackendDoorbell {
+                ssd: s2,
+                tail: t2,
+                at: a2,
+            },
+            EngineAction::BackendDoorbell {
+                ssd: s1,
+                tail: t1,
+                at: a1,
+            },
+        ) if s1 == s2 && a1 == a2 => {
+            *t1 = *t2;
+            true
+        }
+        (EngineAction::QosWakeup { at: a2 }, EngineAction::QosWakeup { at: a1 }) => a1 == a2,
+        _ => false,
+    });
 }
 
 /// Reconstructs the NVMe opcode byte of an [`Outstanding`] origin from
@@ -460,6 +503,14 @@ impl BmsEngine {
             .map(|f| FrontEndFunction::new(f.id()))
             .collect::<Vec<_>>();
         let total = functions.len();
+        let func_metric_keys = functions
+            .iter()
+            .map(|f| FuncMetricKeys {
+                started: func_key(metric_names::ENGINE_STARTED, f.id()),
+                finished: func_key(metric_names::ENGINE_FINISHED, f.id()),
+                outstanding: func_key(metric_names::ENGINE_OUTSTANDING, f.id()),
+            })
+            .collect();
         BmsEngine {
             mapping: MappingTable::new(cfg.mapping_rows, cfg.block_size),
             next_free_row: 0,
@@ -482,6 +533,9 @@ impl BmsEngine {
             resilience: ResilienceStats::default(),
             telemetry: TelemetryHandle::disabled(),
             metrics: MetricsHandle::disabled(),
+            func_metric_keys,
+            span_scratch: Vec::new(),
+            sqe_scratch: Vec::new(),
             cfg,
         }
     }
@@ -740,7 +794,9 @@ impl BmsEngine {
         host: &mut HostMemory,
     ) -> Vec<EngineAction> {
         self.paused[ssd.0 as usize] = false;
-        self.drain_backlog(now, ssd, host)
+        let mut actions = self.drain_backlog(now, ssd, host);
+        coalesce_actions(&mut actions);
+        actions
     }
 
     /// Rewrites every mapping entry targeting `from` to `to` — the
@@ -861,6 +917,7 @@ impl BmsEngine {
                 }
             }
         }
+        coalesce_actions(&mut actions);
         actions
     }
 
@@ -921,8 +978,10 @@ impl BmsEngine {
         if pair.sq.doorbell_tail(value).is_err() {
             return Vec::new();
         }
-        // Fetch every newly published SQE.
-        let mut sqes = Vec::new();
+        // Fetch every newly published SQE (reused buffer — one doorbell
+        // per request in the closed-loop benches, so this is hot).
+        let mut sqes = std::mem::take(&mut self.sqe_scratch);
+        debug_assert!(sqes.is_empty());
         loop {
             let f = &mut self.functions[func.index() as usize];
             let pair = f.queue(qid).expect("checked above");
@@ -952,7 +1011,7 @@ impl BmsEngine {
                 .with(|m| m.stage_busy(metric_stages::FRONT_END, busy, n));
         }
         let mut actions = Vec::new();
-        for sqe in sqes {
+        for sqe in sqes.drain(..) {
             if sqe.cid == Cid(0xFFFF) {
                 actions.push(EngineAction::HostCompletion {
                     func,
@@ -1010,6 +1069,8 @@ impl BmsEngine {
                 }
             }
         }
+        self.sqe_scratch = sqes;
+        coalesce_actions(&mut actions);
         actions
     }
 
@@ -1142,15 +1203,11 @@ impl BmsEngine {
         if self.metrics.is_enabled() {
             let pipe = self.cfg.timing.pipeline;
             let outstanding = self.counters.regs(io.func).outstanding;
-            let func = io.func;
+            let keys = &self.func_metric_keys[idx];
             self.metrics.with(|m| {
                 m.stage_busy(metric_stages::TARGET_CTRL, pipe, 1);
-                m.counter_add(func_key(metric_names::ENGINE_STARTED, func), 1);
-                m.gauge_set(
-                    now,
-                    func_key(metric_names::ENGINE_OUTSTANDING, func),
-                    f64::from(outstanding),
-                );
+                m.counter_add_ref(&keys.started, 1);
+                m.gauge_set_ref(now, &keys.outstanding, f64::from(outstanding));
             });
         }
         self.tel_span(
@@ -1205,7 +1262,12 @@ impl BmsEngine {
             let busy = self.cfg.timing.pipeline * n;
             self.metrics
                 .with(|m| m.stage_busy(metric_stages::MAPPING, busy, n));
-            self.fanout.insert(key, (ssds.len() as u8, Status::Success));
+            // Single-target commands skip the fan-out table:
+            // `finish_origin` treats an untracked origin as its own
+            // completion, with the same status and timing.
+            if ssds.len() > 1 {
+                self.fanout.insert(key, (ssds.len() as u8, Status::Success));
+            }
             for ssd in ssds {
                 let mut sqe = io.sqe;
                 sqe.nsid = Some(Nsid::new(1).expect("valid"));
@@ -1213,28 +1275,37 @@ impl BmsEngine {
             }
             return;
         }
-        // Split read/write on chunk boundaries.
-        let spans = self.split_spans(&io);
+        // Split read/write on chunk boundaries (into a reused buffer —
+        // single-span commands dominate and must not allocate).
+        let mut spans = std::mem::take(&mut self.span_scratch);
+        self.split_spans_into(&io, &mut spans);
         let n = spans.len() as u64;
         let busy = self.cfg.timing.pipeline * n;
         self.metrics
             .with(|m| m.stage_busy(metric_stages::MAPPING, busy, n));
-        self.fanout
-            .insert(key, (spans.len() as u8, Status::Success));
-        for (ssd, pl, block_off, nblocks) in spans {
+        // Single-span commands skip the fan-out table (see the flush
+        // branch above).
+        if spans.len() > 1 {
+            self.fanout
+                .insert(key, (spans.len() as u8, Status::Success));
+        }
+        for &(ssd, pl, block_off, nblocks) in &spans {
             let sqe = self.rewrite_io(&io, pl, block_off, nblocks, host);
+            // `PendingIo` is all-`Copy` fields: this clone is a memcpy.
             self.enqueue_backend(now, ssd, PendingIo { sqe, ..io.clone() }, host, actions);
         }
+        spans.clear();
+        self.span_scratch = spans;
     }
 
-    /// Computes the back-end spans of an I/O command:
+    /// Computes the back-end spans of an I/O command into `spans`:
     /// `(ssd, physical LBA, block offset into transfer, block count)`.
-    fn split_spans(&self, io: &PendingIo) -> Vec<(SsdId, Lba, u32, u32)> {
+    fn split_spans_into(&self, io: &PendingIo, spans: &mut Vec<(SsdId, Lba, u32, u32)>) {
         let binding = self.functions[io.func.index() as usize]
             .binding()
             .expect("validated");
         let cs = self.mapping.chunk_blocks();
-        let mut spans = Vec::with_capacity(1);
+        spans.clear();
         let mut hl = io.sqe.slba.raw();
         let mut remaining = io.sqe.nlb_blocks() as u64;
         let mut offset = 0u32;
@@ -1250,7 +1321,6 @@ impl BmsEngine {
             offset += n as u32;
             remaining -= n;
         }
-        spans
     }
 
     /// Builds the rewritten back-end SQE for one span: physical LBA and
@@ -1439,6 +1509,7 @@ impl BmsEngine {
             }
             self.forward_io(now, rel.io, host, &mut actions);
         }
+        coalesce_actions(&mut actions);
         actions
     }
 
@@ -1476,6 +1547,7 @@ impl BmsEngine {
         // Freed slots: drain any backlog.
         let mut drained = self.drain_backlog(now, ssd, host);
         actions.append(&mut drained);
+        coalesce_actions(&mut actions);
         (actions, cq_head)
     }
 
@@ -1531,18 +1603,14 @@ impl BmsEngine {
                 let copy_wait = at.saturating_since(now + self.cfg.timing.cqe_forward);
                 let busy = at.saturating_since(now) + self.cfg.timing.interrupt - copy_wait;
                 let outstanding = self.counters.regs(origin.func).outstanding;
-                let func = origin.func;
+                let keys = &self.func_metric_keys[origin.func.index() as usize];
                 self.metrics.with(|m| {
                     if copy_wait > SimDuration::ZERO {
                         m.stage_busy(metric_stages::DMA_ROUTING, copy_wait, 0);
                     }
                     m.stage_busy(metric_stages::HOST_ADAPTOR, busy, 1);
-                    m.counter_add(func_key(metric_names::ENGINE_FINISHED, func), 1);
-                    m.gauge_set(
-                        now,
-                        func_key(metric_names::ENGINE_OUTSTANDING, func),
-                        f64::from(outstanding),
-                    );
+                    m.counter_add_ref(&keys.finished, 1);
+                    m.gauge_set_ref(now, &keys.outstanding, f64::from(outstanding));
                 });
             }
             if origin.cmd.is_some() {
@@ -1862,25 +1930,35 @@ mod tests {
             15,
             &mut host,
         );
-        let doorbells = actions
+        // The ten admitted commands forward at the same instant, so
+        // their doorbells coalesce into one ring carrying the final
+        // tail; the five deferred releases have distinct wakeup times.
+        let doorbell_tails: Vec<u32> = actions
             .iter()
-            .filter(|a| matches!(a, EngineAction::BackendDoorbell { .. }))
-            .count();
+            .filter_map(|a| match a {
+                EngineAction::BackendDoorbell { tail, .. } => Some(*tail),
+                _ => None,
+            })
+            .collect();
         let wakeups = actions
             .iter()
             .filter(|a| matches!(a, EngineAction::QosWakeup { .. }))
             .count();
-        assert_eq!(doorbells, 10);
+        assert_eq!(doorbell_tails, [10], "one coalesced ring, final tail");
         assert_eq!(wakeups, 5);
         assert_eq!(engine.counters().function(fid(0)).qos_deferred, 5);
-        // Wake up after the last release: all five forward.
+        // Wake up after the last release: all five forward (again one
+        // coalesced doorbell, five commands deep).
         let late = SimTime::ZERO + SimDuration::from_secs(1);
         let actions = engine.qos_wakeup(late, &mut host);
-        let released = actions
+        let released_tails: Vec<u32> = actions
             .iter()
-            .filter(|a| matches!(a, EngineAction::BackendDoorbell { .. }))
-            .count();
-        assert_eq!(released, 5);
+            .filter_map(|a| match a {
+                EngineAction::BackendDoorbell { tail, .. } => Some(*tail),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(released_tails, [15]);
     }
 
     #[test]
@@ -1921,7 +1999,8 @@ mod tests {
             retries: 0,
             cmd: CmdId::NONE,
         };
-        let spans = engine.split_spans(&io);
+        let mut spans = Vec::new();
+        engine.split_spans_into(&io, &mut spans);
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].2, 0, "first span starts at block 0");
         assert_eq!(spans[0].3, 8, "first span covers to the boundary");

@@ -109,13 +109,17 @@ fn qos_release_into_paused_ssd_lands_in_backlog() {
         "paused SSD must not receive doorbells"
     );
     assert_eq!(engine.save_io_context(SsdId(0)).buffered, 2);
-    // Resume flushes both.
+    // Resume flushes both: two commands pushed at the same instant
+    // coalesce into one doorbell carrying the final tail.
     let actions = engine.resume_ssd(late + SimDuration::from_ms(1), SsdId(0), &mut host);
-    let doorbells = actions
+    let tails: Vec<u32> = actions
         .iter()
-        .filter(|a| matches!(a, EngineAction::BackendDoorbell { .. }))
-        .count();
-    assert_eq!(doorbells, 2);
+        .filter_map(|a| match a {
+            EngineAction::BackendDoorbell { tail, .. } => Some(*tail),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tails, [12], "one coalesced ring sweeping both commands");
 }
 
 #[test]

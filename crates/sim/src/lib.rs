@@ -51,7 +51,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
-pub use engine::{Scheduler, Simulation};
+pub use engine::{SchedulePastError, Scheduler, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::MetricsHandle;
 pub use rng::SimRng;

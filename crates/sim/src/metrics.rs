@@ -363,6 +363,9 @@ pub struct MetricsRegistry {
     gauges: BTreeMap<MetricKey, GaugeState>,
     series: BTreeMap<MetricKey, BoundedSeries>,
     annotations: Vec<Annotation>,
+    /// Per-stage `(busy, arrivals)` key pair, built once per stage so
+    /// [`MetricsRegistry::stage_busy`] allocates nothing in steady state.
+    stage_keys: BTreeMap<&'static str, (MetricKey, MetricKey)>,
 }
 
 impl MetricsRegistry {
@@ -382,12 +385,25 @@ impl MetricsRegistry {
             gauges: BTreeMap::new(),
             series: BTreeMap::new(),
             annotations: Vec::new(),
+            stage_keys: BTreeMap::new(),
         }
     }
 
     /// Adds `delta` to a counter, creating it at zero.
     pub fn counter_add(&mut self, key: MetricKey, delta: u64) {
         *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Adds `delta` to a counter through a borrowed key: the hot-path
+    /// variant for call sites that cache their [`MetricKey`]s. Clones
+    /// the key only on first use.
+    pub fn counter_add_ref(&mut self, key: &MetricKey, delta: u64) {
+        match self.counters.get_mut(key) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(key.clone(), delta);
+            }
+        }
     }
 
     /// Reads a counter (zero if never written).
@@ -401,6 +417,18 @@ impl MetricsRegistry {
             Some(g) => g.set(now, value),
             None => {
                 self.gauges.insert(key, GaugeState::new(now, value));
+            }
+        }
+    }
+
+    /// Sets a gauge through a borrowed key: the hot-path variant for
+    /// call sites that cache their [`MetricKey`]s. Clones the key only
+    /// on first use.
+    pub fn gauge_set_ref(&mut self, now: SimTime, key: &MetricKey, value: f64) {
+        match self.gauges.get_mut(key) {
+            Some(g) => g.set(now, value),
+            None => {
+                self.gauges.insert(key.clone(), GaugeState::new(now, value));
             }
         }
     }
@@ -422,23 +450,68 @@ impl MetricsRegistry {
         }
     }
 
+    /// Appends one point through a borrowed key: the hot-path variant
+    /// for call sites that cache their [`MetricKey`]s. Clones the key
+    /// only when the series is first created.
+    pub fn sample_ref(&mut self, at: SimTime, key: &MetricKey, value: f64) {
+        match self.series.get_mut(key) {
+            Some(s) => s.push(at, value),
+            None => {
+                let mut s = BoundedSeries::new(&key.render(), self.series_capacity);
+                s.push(at, value);
+                self.series.insert(key.clone(), s);
+            }
+        }
+    }
+
+    /// Snapshots every gauge's current value into its series at `now`
+    /// — the periodic sampler's bulk step, equivalent to calling
+    /// [`MetricsRegistry::sample`] per gauge but without cloning every
+    /// key on every tick.
+    pub fn snapshot_gauges(&mut self, now: SimTime) {
+        let capacity = self.series_capacity;
+        let (gauges, series) = (&self.gauges, &mut self.series);
+        for (key, gauge) in gauges {
+            let value = gauge.value();
+            match series.get_mut(key) {
+                Some(s) => s.push(now, value),
+                None => {
+                    let mut s = BoundedSeries::new(&key.render(), capacity);
+                    s.push(now, value);
+                    series.insert(key.clone(), s);
+                }
+            }
+        }
+    }
+
     /// Reads a series.
     pub fn series(&self, key: &MetricKey) -> Option<&BoundedSeries> {
         self.series.get(key)
     }
 
     /// Accounts one stage traversal: `busy` occupancy-time (waiting
-    /// included) and `arrivals` commands entering the stage.
+    /// included) and `arrivals` commands entering the stage. The key
+    /// pair per stage is cached, so steady-state calls do not allocate.
     pub fn stage_busy(&mut self, stage: &'static str, busy: SimDuration, arrivals: u64) {
-        self.counter_add(
-            MetricKey::labeled(names::STAGE_BUSY_NS, "stage", stage),
-            busy.as_nanos(),
-        );
-        if arrivals > 0 {
-            self.counter_add(
+        let (busy_key, arrivals_key) = self.stage_keys.entry(stage).or_insert_with(|| {
+            (
+                MetricKey::labeled(names::STAGE_BUSY_NS, "stage", stage),
                 MetricKey::labeled(names::STAGE_ARRIVALS, "stage", stage),
-                arrivals,
-            );
+            )
+        });
+        match self.counters.get_mut(busy_key) {
+            Some(v) => *v += busy.as_nanos(),
+            None => {
+                self.counters.insert(busy_key.clone(), busy.as_nanos());
+            }
+        }
+        if arrivals > 0 {
+            match self.counters.get_mut(arrivals_key) {
+                Some(v) => *v += arrivals,
+                None => {
+                    self.counters.insert(arrivals_key.clone(), arrivals);
+                }
+            }
         }
     }
 

@@ -163,32 +163,47 @@ impl Scheme for BmStoreScheme {
                 let mut router = self.engine.dma_router(ctx.host_mem);
                 let completions =
                     ctx.ssds[ssd.0 as usize].ring_sq_doorbell(now, QueueId(1), tail, &mut router);
-                completions
-                    .into_iter()
-                    .map(|io| Effect::ScheduleAt {
-                        at: io.at,
-                        stage: Stage::EngineBackendComplete { ssd, io },
-                    })
-                    .collect()
-            }
-            Stage::EngineBackendComplete { ssd, io } => {
-                // Device-service span, recorded while the back-end CID
-                // still resolves to its origin (the drain below frees it).
-                self.engine.record_backend_span(
-                    ssd,
-                    io.cid,
-                    io.submitted_at,
-                    now,
-                    io.status.is_success(),
-                );
-                {
-                    let mut router = self.engine.dma_router(ctx.host_mem);
-                    Ssd::deliver_read_payload(&io, &mut router);
-                    let _ = ctx.ssds[ssd.0 as usize].post_completion(&io, &mut router);
+                // Consecutive completions sharing an instant become one
+                // scheduled event; they held consecutive sequence
+                // numbers before, so batching cannot reorder anything.
+                let mut effects = Vec::new();
+                let mut iter = completions.into_iter().peekable();
+                while let Some(io) = iter.next() {
+                    let at = io.at;
+                    let mut ios = vec![io];
+                    while let Some(next) = iter.next_if(|n| n.at == at) {
+                        ios.push(next);
+                    }
+                    effects.push(Effect::ScheduleAt {
+                        at,
+                        stage: Stage::EngineBackendComplete { ssd, ios },
+                    });
                 }
-                let (actions, cq_head) = self.engine.on_backend_completion(now, ssd, ctx.host_mem);
-                ctx.ssds[ssd.0 as usize].ring_cq_doorbell(QueueId(1), cq_head);
-                self.actions_to_effects(actions)
+                effects
+            }
+            Stage::EngineBackendComplete { ssd, ios } => {
+                let mut effects = Vec::new();
+                for io in ios {
+                    // Device-service span, recorded while the back-end CID
+                    // still resolves to its origin (the drain below frees it).
+                    self.engine.record_backend_span(
+                        ssd,
+                        io.cid,
+                        io.submitted_at,
+                        now,
+                        io.status.is_success(),
+                    );
+                    {
+                        let mut router = self.engine.dma_router(ctx.host_mem);
+                        Ssd::deliver_read_payload(&io, &mut router);
+                        let _ = ctx.ssds[ssd.0 as usize].post_completion(&io, &mut router);
+                    }
+                    let (actions, cq_head) =
+                        self.engine.on_backend_completion(now, ssd, ctx.host_mem);
+                    ctx.ssds[ssd.0 as usize].ring_cq_doorbell(QueueId(1), cq_head);
+                    effects.extend(self.actions_to_effects(actions));
+                }
+                effects
             }
             Stage::EngineHostCompletion {
                 func,

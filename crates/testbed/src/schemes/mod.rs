@@ -158,12 +158,17 @@ pub enum Stage {
         tail: u32,
     },
     /// BM-Store: a backend SSD behind the engine's DMA router finished
-    /// `io`.
+    /// a batch of commands sharing one completion instant. Consecutive
+    /// equal-time completions from one doorbell sweep ride a single
+    /// scheduled event; the handler services each command in order, so
+    /// the observable effect stream is identical to one event per
+    /// command (the batch members held consecutive sequence numbers
+    /// anyway).
     EngineBackendComplete {
         /// Backend SSD behind the engine.
         ssd: SsdId,
-        /// The finished command.
-        io: CompletedIo,
+        /// The finished commands, in completion order.
+        ios: Vec<CompletedIo>,
     },
     /// BM-Store: the engine posts a host CQE (retried while the host
     /// CQ is full).

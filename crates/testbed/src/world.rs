@@ -308,6 +308,31 @@ struct FaultRuntime {
     mctp_drops: u32,
 }
 
+/// Pre-built metric keys for the periodic sampler, grown lazily to the
+/// current topology so the per-tick path allocates no key strings.
+#[derive(Default)]
+struct SamplerKeys {
+    /// Per-device `(host_sq_inflight, host_sq_waiting)` gauge keys.
+    host: Vec<(MetricKey, MetricKey)>,
+    /// Per-SSD `(ssd_busy_ns, ssd_ops)` series keys.
+    ssd_service: Vec<(MetricKey, MetricKey)>,
+    /// Per-engine-port gauge/series keys.
+    port: Vec<SamplerPortKeys>,
+    /// The controller's reassembly gauge key.
+    mctp_partials: Option<MetricKey>,
+}
+
+struct SamplerPortKeys {
+    backlog: MetricKey,
+    inflight: MetricKey,
+    live: MetricKey,
+    zombies: MetricKey,
+    bytes: MetricKey,
+    forwarded: MetricKey,
+    completed: MetricKey,
+    abandoned: MetricKey,
+}
+
 /// The world: testbed + clients, driven by [`World::run`].
 pub struct World {
     /// The composed testbed.
@@ -319,6 +344,14 @@ pub struct World {
     next_mgmt_tag: u8,
     observer: Option<Rc<RefCell<dyn PipelineObserver>>>,
     faults: FaultRuntime,
+    sampler_keys: SamplerKeys,
+    /// Total simulator events fired by the last [`World::run`] (zero
+    /// before any run). Dividing by host wall-clock time yields the
+    /// harness's events-per-second throughput figure.
+    pub events_fired: u64,
+    /// Peak simulator event-queue depth observed by the last
+    /// [`World::run`] (zero before any run).
+    pub peak_event_queue: usize,
 }
 
 impl World {
@@ -333,6 +366,9 @@ impl World {
             next_mgmt_tag: 0,
             observer: None,
             faults: FaultRuntime::default(),
+            sampler_keys: SamplerKeys::default(),
+            events_fired: 0,
+            peak_event_queue: 0,
         }
     }
 
@@ -423,7 +459,14 @@ impl World {
                 sim.run_until_idle();
             }
         }
-        sim.into_world()
+        let (fired, peak) = {
+            let sched = sim.scheduler_mut();
+            (sched.events_fired(), sched.peak_pending())
+        };
+        let mut world = sim.into_world();
+        world.events_fired = fired;
+        world.peak_event_queue = peak;
+        world
     }
 
     /// Borrow a client back after a run (e.g. to read its statistics).
@@ -757,38 +800,55 @@ impl World {
         if handle.with(|m| m.mark_sample_tick(now)).is_none() {
             return;
         }
+        // Grow the cached key tables to the current topology; stable in
+        // steady state, so the per-tick path builds no key strings.
+        while self.sampler_keys.host.len() < self.tb.devices.len() {
+            let i = self.sampler_keys.host.len();
+            self.sampler_keys.host.push((
+                MetricKey::labeled(metric_names::HOST_SQ_INFLIGHT, "function", i),
+                MetricKey::labeled(metric_names::HOST_SQ_WAITING, "function", i),
+            ));
+        }
+        while self.sampler_keys.ssd_service.len() < self.tb.ssds.len() {
+            let i = self.sampler_keys.ssd_service.len();
+            self.sampler_keys.ssd_service.push((
+                MetricKey::labeled(metric_names::SSD_BUSY_NS, "ssd", i),
+                MetricKey::labeled(metric_names::SSD_OPS, "ssd", i),
+            ));
+        }
+        let port_count = self.tb.engine().map_or(0, |e| e.adaptor().len());
+        while self.sampler_keys.port.len() < port_count {
+            let i = self.sampler_keys.port.len();
+            let key = |name| MetricKey::labeled(name, "ssd", i);
+            self.sampler_keys.port.push(SamplerPortKeys {
+                backlog: key(metric_names::DOORBELL_BACKLOG),
+                inflight: key(metric_names::BACKEND_INFLIGHT),
+                live: key(metric_names::BACKEND_LIVE),
+                zombies: key(metric_names::BACKEND_ZOMBIES),
+                bytes: key(metric_names::DMA_INFLIGHT_BYTES),
+                forwarded: key(metric_names::BACKEND_FORWARDED),
+                completed: key(metric_names::BACKEND_COMPLETED),
+                abandoned: key(metric_names::BACKEND_ABANDONED),
+            });
+        }
         // Host-side tenant queues (every scheme).
         for (i, dev) in self.tb.devices.iter().enumerate() {
             let inflight = dev.pending.len() as f64;
             let waiting = dev.waiting.len() as f64;
+            let (inflight_key, waiting_key) = &self.sampler_keys.host[i];
             handle.with(|m| {
-                m.gauge_set(
-                    now,
-                    MetricKey::labeled(metric_names::HOST_SQ_INFLIGHT, "function", i),
-                    inflight,
-                );
-                m.gauge_set(
-                    now,
-                    MetricKey::labeled(metric_names::HOST_SQ_WAITING, "function", i),
-                    waiting,
-                );
+                m.gauge_set_ref(now, inflight_key, inflight);
+                m.gauge_set_ref(now, waiting_key, waiting);
             });
         }
         // SSD service tallies (cumulative counters, sampled as series so
         // windowed service-time utilization falls out of any two ticks).
         for (i, ssd) in self.tb.ssds.iter().enumerate() {
             let stats = ssd.service_stats();
+            let (busy_key, ops_key) = &self.sampler_keys.ssd_service[i];
             handle.with(|m| {
-                m.sample(
-                    now,
-                    MetricKey::labeled(metric_names::SSD_BUSY_NS, "ssd", i),
-                    stats.busy.as_nanos() as f64,
-                );
-                m.sample(
-                    now,
-                    MetricKey::labeled(metric_names::SSD_OPS, "ssd", i),
-                    stats.ops as f64,
-                );
+                m.sample_ref(now, busy_key, stats.busy.as_nanos() as f64);
+                m.sample_ref(now, ops_key, stats.ops as f64);
             });
         }
         // BM-Store engine: per-port occupancy and the conservation
@@ -803,34 +863,32 @@ impl World {
                 let forwarded = port.forwarded() as f64;
                 let completed = port.completed() as f64;
                 let abandoned = port.abandoned() as f64;
+                let keys = &self.sampler_keys.port[i];
                 handle.with(|m| {
-                    let ssd_key = |name| MetricKey::labeled(name, "ssd", i);
-                    m.gauge_set(now, ssd_key(metric_names::DOORBELL_BACKLOG), backlog);
-                    m.gauge_set(now, ssd_key(metric_names::BACKEND_INFLIGHT), inflight);
-                    m.gauge_set(now, ssd_key(metric_names::BACKEND_LIVE), live);
-                    m.gauge_set(now, ssd_key(metric_names::BACKEND_ZOMBIES), zombies);
-                    m.gauge_set(now, ssd_key(metric_names::DMA_INFLIGHT_BYTES), bytes);
-                    m.sample(now, ssd_key(metric_names::BACKEND_FORWARDED), forwarded);
-                    m.sample(now, ssd_key(metric_names::BACKEND_COMPLETED), completed);
-                    m.sample(now, ssd_key(metric_names::BACKEND_ABANDONED), abandoned);
+                    m.gauge_set_ref(now, &keys.backlog, backlog);
+                    m.gauge_set_ref(now, &keys.inflight, inflight);
+                    m.gauge_set_ref(now, &keys.live, live);
+                    m.gauge_set_ref(now, &keys.zombies, zombies);
+                    m.gauge_set_ref(now, &keys.bytes, bytes);
+                    m.sample_ref(now, &keys.forwarded, forwarded);
+                    m.sample_ref(now, &keys.completed, completed);
+                    m.sample_ref(now, &keys.abandoned, abandoned);
                 });
             }
         }
         // Management plane: torn reassemblies pending at the controller.
         if let Some(controller) = self.tb.controller() {
             let partials = controller.assembler().in_progress() as f64;
+            let key = self
+                .sampler_keys
+                .mctp_partials
+                .get_or_insert_with(|| MetricKey::new(metric_names::MCTP_PARTIALS));
             handle.with(|m| {
-                m.gauge_set(now, MetricKey::new(metric_names::MCTP_PARTIALS), partials);
+                m.gauge_set_ref(now, key, partials);
             });
         }
         // Snapshot every gauge into its series at this tick.
-        handle.with(|m| {
-            let snapshot: Vec<(MetricKey, f64)> =
-                m.gauges().map(|(k, g)| (k.clone(), g.value())).collect();
-            for (key, value) in snapshot {
-                m.sample(now, key, value);
-            }
-        });
+        handle.with(|m| m.snapshot_gauges(now));
     }
 
     /// Interrupt arrives at the host/guest: consume the CQE, ack it

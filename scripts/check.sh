@@ -39,9 +39,12 @@ cargo run --release -q -p bm-bench --bin telemetry_smoke
 echo "==> bench report regression gate (release, --quick)"
 # The performance contract: the fig08/09/10/12 BM-Store envelope
 # (throughput, p50/p99, peak queue depth, saturated stage) must stay
-# inside bench-baseline.json's tolerances. Writes BENCH_BMSTORE.json as
-# a side effect; regenerate the baseline after an intentional perf
-# change with --write-baseline bench-baseline.json.
+# inside bench-baseline.json's tolerances. Also a wall-clock smoke
+# gate: events_per_sec (simulator events retired per host second) is
+# ratcheted one-sided — a run slower than baseline by more than 40%
+# fails, a faster run never does. Writes BENCH_BMSTORE.json as a side
+# effect; regenerate the baseline after an intentional perf change
+# with --write-baseline bench-baseline.json.
 cargo run --release -q -p bm-bench --bin bench_report -- --quick --baseline bench-baseline.json
 
 echo "==> cargo fmt --check"

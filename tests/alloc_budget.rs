@@ -1,0 +1,147 @@
+//! Allocation budget for the event-loop hot path.
+//!
+//! Two claims, measured with a counting global allocator:
+//!
+//! 1. Pure scheduler churn — non-capturing (zero-sized) actions being
+//!    scheduled and fired in steady state — performs **zero** heap
+//!    allocations: the timer wheel recycles arena nodes through its
+//!    free list, boxing a ZST closure is free, and batch/slot vectors
+//!    stop growing after warm-up.
+//! 2. A steady-state BM-Store 4K-random-read window grows the
+//!    scheduler's node arena by **zero** slots: every event entry is
+//!    recycled, so scheduler-entry allocations are warm-up-only.
+//!
+//! Everything lives in one `#[test]` so no concurrent test can pollute
+//! the allocation counter (integration tests run multi-threaded by
+//! default).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bmstore::sim::stats::IoStats;
+use bmstore::sim::{SimDuration, SimTime, Simulation};
+use bmstore::testbed::{Testbed, TestbedConfig, World};
+use bmstore::workloads::fio::{FioJob, FioSpec};
+
+/// Counts allocation events (alloc/realloc/alloc_zeroed); frees are
+/// irrelevant to the budget.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers all memory operations to `System`; only adds counter
+// bumps around them.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+struct Ticks(u64);
+
+/// A self-rescheduling zero-sized action: the increment varies with the
+/// tick count so successive events land in different wheel slots and
+/// levels, exercising placement, cascade and recycling.
+fn chain(w: &mut Ticks, s: &mut bmstore::sim::Scheduler<Ticks>) {
+    w.0 += 1;
+    let step = 501 + (w.0 % 7) * 9_777;
+    s.schedule_in(SimDuration::from_nanos(step), chain);
+}
+
+fn pure_scheduler_steady_state_is_allocation_free() {
+    let mut sim = Simulation::new(Ticks(0));
+    // A standing population of 64 chains at staggered offsets.
+    for i in 0..64u64 {
+        sim.schedule_in(SimDuration::from_nanos(100 + i * 37), chain);
+    }
+    // Warm-up: size the arena, slot lists and batch buffer.
+    while sim.world().0 < 5_000 {
+        assert!(sim.step(), "chains keep the queue non-empty");
+    }
+    let before = alloc_events();
+    while sim.world().0 < 55_000 {
+        assert!(sim.step(), "chains keep the queue non-empty");
+    }
+    let after = alloc_events();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scheduling of ZST actions must not touch the heap"
+    );
+}
+
+fn bm_store_read_window_does_not_grow_the_arena() {
+    // The Fig. 8 bare-metal 4K-random-read rig, scaled down: ramp ends
+    // at 12.5 ms, measurement ends at 112.5 ms.
+    let cfg = TestbedConfig::bm_store_bare_metal(1);
+    let spec = FioSpec::rand_r_128().scaled(0.25);
+    let seed_base = cfg.seed;
+    let mut tb = Testbed::new(cfg);
+    let devices = tb.device_count();
+    let mut jobs = Vec::new();
+    for d in 0..devices {
+        for j in 0..spec.numjobs {
+            let stats = Rc::new(RefCell::new(IoStats::new()));
+            jobs.push(FioJob::new(
+                &mut tb,
+                bmstore::testbed::DeviceId(d),
+                spec,
+                j,
+                seed_base ^ (0x00F1_0000 + d as u64),
+                stats,
+                None,
+            ));
+        }
+    }
+    let mut world = World::new(tb);
+    for job in jobs {
+        world.add_client(Box::new(job));
+    }
+    // Snapshot the scheduler's arena size across the steady-state
+    // window (well past ramp-up at 12.5 ms).
+    let snaps: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+    for ms in [40u64, 60, 80, 100] {
+        let sink = Rc::clone(&snaps);
+        world.schedule_action(SimTime::ZERO + SimDuration::from_ms(ms), move |_w, s| {
+            sink.borrow_mut().push(s.arena_slots());
+        });
+    }
+    let world = world.run(None);
+    let snaps = snaps.borrow();
+    assert_eq!(snaps.len(), 4, "all snapshot actions fired");
+    assert!(
+        snaps.iter().all(|&n| n == snaps[0]),
+        "scheduler arena must stop growing in steady state: {snaps:?}"
+    );
+    assert!(world.events_fired > 0, "the run retired events");
+}
+
+#[test]
+fn hot_path_allocation_budget() {
+    pure_scheduler_steady_state_is_allocation_free();
+    bm_store_read_window_does_not_grow_the_arena();
+}
