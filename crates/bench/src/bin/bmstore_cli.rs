@@ -13,6 +13,22 @@
 //! fio summary; `--out FILE` writes the exposition to FILE instead of
 //! stdout.
 //!
+//! The `chaos` subcommand drives the seeded chaos harness:
+//!
+//! ```text
+//! bmstore-cli chaos run [--seeds N] [--base-seed N]
+//!                       [--policy abort-to-host|quiesce-replay]
+//!                       [--sabotage] [--out FILE]
+//! bmstore-cli chaos replay FILE
+//! ```
+//!
+//! `chaos run` sweeps N seeds of generated fault plans through the
+//! invariant oracles; on failure it delta-debugs the first failing plan
+//! to a minimal repro and writes/prints the repro artifact. `chaos
+//! replay` re-executes a saved artifact bit-identically and reports the
+//! violations it (still) trips. Exit status is non-zero when any oracle
+//! fired.
+//!
 //! Example: the paper's rand-r-128 on BM-Store with a 50 K IOPS cap:
 //!
 //! ```bash
@@ -134,7 +150,128 @@ fn rw_mode(s: &str) -> RwMode {
     }
 }
 
+fn chaos_usage() -> ! {
+    eprintln!(
+        "usage: bmstore-cli chaos run [--seeds N] [--base-seed N]\n\
+         \x20                            [--policy abort-to-host|quiesce-replay]\n\
+         \x20                            [--sabotage] [--out FILE]\n\
+         \x20      bmstore-cli chaos replay FILE"
+    );
+    exit(2)
+}
+
+/// `chaos run`: N-seed campaign, shrink + artifact on failure.
+fn chaos_run(mut it: std::env::Args) -> ! {
+    let mut seeds = 25usize;
+    let mut base_seed = 0xC4A05u64;
+    let mut cfg = bm_chaos::ChaosConfig::abort_to_host();
+    let mut out: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| chaos_usage());
+        match flag.as_str() {
+            "--seeds" => seeds = value().parse().unwrap_or_else(|_| chaos_usage()),
+            "--base-seed" => base_seed = value().parse().unwrap_or_else(|_| chaos_usage()),
+            "--policy" => {
+                cfg = match value().as_str() {
+                    "abort-to-host" => bm_chaos::ChaosConfig::abort_to_host(),
+                    "quiesce-replay" => bm_chaos::ChaosConfig::quiesce_replay(),
+                    _ => chaos_usage(),
+                }
+            }
+            "--sabotage" => cfg.sabotage_drop_journal_tail = true,
+            "--out" => out = Some(value()),
+            _ => chaos_usage(),
+        }
+    }
+    println!(
+        "chaos campaign: {seeds} seeds from {base_seed}, policy {:?}, sabotage {}",
+        cfg.fail_policy, cfg.sabotage_drop_journal_tail
+    );
+    let report = bm_chaos::run_campaign(&cfg, base_seed, seeds);
+    println!(
+        "{} cases: {} passed, {} failed; {} I/Os, {} faults, {} recoveries",
+        report.cases,
+        report.passed,
+        report.failures.len(),
+        report.total_issued,
+        report.total_faults,
+        report.total_recoveries
+    );
+    let Some(first) = report.failures.first() else {
+        println!("all oracles held on every seed");
+        exit(0)
+    };
+    for f in &report.failures {
+        println!("seed {} FAILED:", f.seed);
+        for v in &f.report.violations {
+            println!("  {v}");
+        }
+    }
+    println!(
+        "shrinking seed {} ({} events) ...",
+        first.seed,
+        first.plan.events().len()
+    );
+    let shrunk = bm_chaos::shrink_failing_case(&cfg, &first.plan);
+    let artifact = bm_chaos::ReproArtifact::new(&cfg, shrunk);
+    println!("minimal repro: {} events", artifact.plan.events().len());
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, artifact.to_text()) {
+                eprintln!("cannot write {path}: {e}");
+            } else {
+                println!("repro artifact written to {path}");
+            }
+        }
+        None => print!("{}", artifact.to_text()),
+    }
+    exit(1)
+}
+
+/// `chaos replay FILE`: re-execute a saved repro artifact.
+fn chaos_replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(2)
+    });
+    let artifact = bm_chaos::ReproArtifact::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(2)
+    });
+    println!(
+        "replaying seed {} ({} events, policy {:?}, sabotage {})",
+        artifact.plan.seed(),
+        artifact.plan.events().len(),
+        artifact.fail_policy,
+        artifact.sabotage
+    );
+    let report = artifact.replay();
+    println!("{}", report.summary());
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    exit(i32::from(!report.passed()))
+}
+
+fn chaos_main(mut it: std::env::Args) -> ! {
+    match it.next().as_deref() {
+        Some("run") => chaos_run(it),
+        Some("replay") => match it.next() {
+            Some(path) => chaos_replay(&path),
+            None => chaos_usage(),
+        },
+        _ => chaos_usage(),
+    }
+}
+
 fn main() {
+    {
+        let mut it = std::env::args();
+        it.next();
+        if it.next().as_deref() == Some("chaos") {
+            chaos_main(it);
+        }
+    }
     let args = parse_args();
     let kind = scheme_kind(&args.scheme);
     let mut cfg = match &kind {

@@ -198,6 +198,44 @@ fn main() {
         }
     }
 
+    // Engine resilience and scheduler-health counters. All zero on this
+    // fault plan (a latency spike neither times out nor crashes); any
+    // non-zero recovery activity or past-due clamping is surfaced
+    // loudly because it means the run's timings carry recovery noise.
+    if let Some(engine) = world.tb.engine() {
+        let stats = engine.resilience_stats();
+        header(
+            "engine resilience",
+            &["recoveries", "replayed", "aborted", "crashed µs"],
+        );
+        row(
+            "crash recovery",
+            &[
+                format!("{}", stats.recoveries),
+                format!("{}", stats.replayed),
+                format!("{}", stats.aborted_on_recovery),
+                fmt_us(stats.recovery_time),
+            ],
+        );
+        if stats.recoveries > 0 {
+            println!(
+                "WARNING: {} crash-recovery cycle(s) ran ({} commands replayed, \
+                 {} aborted to the host) — latency tables above include \
+                 recovery noise",
+                stats.recoveries, stats.replayed, stats.aborted_on_recovery
+            );
+        }
+    }
+    row("clamped past", &[format!("{}", world.clamped_past)]);
+    if world.clamped_past > 0 {
+        println!(
+            "WARNING: the scheduler clamped {} past-due event(s) to 'now' — \
+             an interpreter scheduled work behind the clock; timing fidelity \
+             is degraded for those events",
+            world.clamped_past
+        );
+    }
+
     // Decode the NVMe-MI scrapes (arrival order: mid f0, mid f1,
     // final f0, final f1).
     let responses = world.mgmt_responses();

@@ -1,0 +1,131 @@
+//! Delta-debugging (ddmin) over fault schedules: remove event subsets
+//! while the oracles still trip, converging on a minimal repro.
+
+use bm_sim::faults::{FaultEvent, FaultPlan};
+
+/// Shrinks `plan` to a (locally) minimal event subset for which
+/// `failing` still returns `true`, preserving the plan seed so the
+/// shrunk schedule replays in the identical simulation.
+///
+/// Classic ddmin over complements, followed by a greedy single-event
+/// polish: after it returns, removing any one remaining event makes the
+/// case pass. `failing` must be deterministic (which [`crate::run_case`]
+/// is); if the full plan does not fail, it is returned unchanged.
+pub fn shrink_plan<F>(plan: &FaultPlan, mut failing: F) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    let seed = plan.seed();
+    let rebuild = |events: &[FaultEvent]| {
+        let mut p = FaultPlan::new(seed);
+        for e in events {
+            p.push(e.at, e.kind);
+        }
+        p
+    };
+    if !failing(plan) {
+        return rebuild(plan.events());
+    }
+    let mut events: Vec<FaultEvent> = plan.events().to_vec();
+
+    // ddmin: try dropping ever-finer chunks while the failure persists.
+    let mut n = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate = Vec::with_capacity(events.len() - (end - start));
+            candidate.extend_from_slice(&events[..start]);
+            candidate.extend_from_slice(&events[end..]);
+            if !candidate.is_empty() && failing(&rebuild(&candidate)) {
+                events = candidate;
+                n = 2;
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= events.len() {
+                break;
+            }
+            n = (n * 2).min(events.len());
+        }
+    }
+
+    // Greedy polish: guarantee 1-minimality.
+    let mut i = 0usize;
+    while events.len() > 1 && i < events.len() {
+        let mut candidate = events.clone();
+        candidate.remove(i);
+        if failing(&rebuild(&candidate)) {
+            events = candidate;
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    rebuild(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_sim::faults::FaultKind;
+    use bm_sim::{SimDuration, SimTime};
+
+    fn ev(ms: u64, ssd: usize) -> (SimTime, FaultKind) {
+        (
+            SimTime::ZERO + SimDuration::from_ms(ms),
+            FaultKind::SsdDeath { ssd },
+        )
+    }
+
+    fn plan_of(events: &[(SimTime, FaultKind)]) -> FaultPlan {
+        let mut p = FaultPlan::new(5);
+        for &(at, kind) in events {
+            p.push(at, kind);
+        }
+        p
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // "Fails" iff the plan still contains the ssd-3 death.
+        let plan = plan_of(&[ev(1, 0), ev(2, 1), ev(3, 3), ev(4, 2), ev(5, 0), ev(6, 1)]);
+        let shrunk = shrink_plan(&plan, |p| {
+            p.events()
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::SsdDeath { ssd: 3 }))
+        });
+        assert_eq!(shrunk.events().len(), 1);
+        assert!(matches!(
+            shrunk.events()[0].kind,
+            FaultKind::SsdDeath { ssd: 3 }
+        ));
+        assert_eq!(shrunk.seed(), plan.seed());
+    }
+
+    #[test]
+    fn shrinks_a_conjunction_to_its_pair() {
+        // Needs BOTH the ssd-1 and ssd-2 deaths to fail.
+        let plan = plan_of(&[ev(1, 0), ev(2, 1), ev(3, 0), ev(4, 2), ev(5, 0)]);
+        let has = |p: &FaultPlan, want: usize| {
+            p.events()
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::SsdDeath { ssd } if ssd == want))
+        };
+        let shrunk = shrink_plan(&plan, |p| has(p, 1) && has(p, 2));
+        assert_eq!(shrunk.events().len(), 2);
+    }
+
+    #[test]
+    fn passing_plan_is_returned_unchanged() {
+        let plan = plan_of(&[ev(1, 0), ev(2, 1)]);
+        let shrunk = shrink_plan(&plan, |_| false);
+        assert_eq!(shrunk.events().len(), 2);
+        assert_eq!(shrunk.to_text(), plan.to_text());
+    }
+}

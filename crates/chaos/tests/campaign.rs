@@ -1,0 +1,191 @@
+//! The chaos acceptance battery: multi-seed campaigns under both fail
+//! policies, determinism of replays, the QuiesceReplay end-to-end
+//! path, and the oracle self-test (a deliberately sabotaged journal
+//! must be caught and shrunk to a minimal repro).
+
+use bm_chaos::{run_campaign, run_case, run_seed, shrink_failing_case, ChaosConfig, ReproArtifact};
+use bm_sim::faults::{FaultKind, FaultPlan};
+use bm_sim::{SimDuration, SimTime};
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_ms(n)
+}
+
+/// The headline campaign: 200 seeds of mixed faults against 4 tenants,
+/// split across both fail policies. Every invariant oracle must hold on
+/// every seed.
+#[test]
+fn two_hundred_seed_campaign_passes_all_oracles() {
+    let mut grand_recoveries = 0;
+    let mut grand_faults = 0;
+    for (name, cfg) in [
+        ("abort-to-host", ChaosConfig::abort_to_host()),
+        ("quiesce-replay", ChaosConfig::quiesce_replay()),
+    ] {
+        let r = run_campaign(&cfg, 0xBEEF, 100);
+        assert_eq!(r.cases, 100);
+        for f in &r.failures {
+            for v in &f.report.violations {
+                eprintln!("[{name}] seed {}: {v}", f.seed);
+            }
+        }
+        assert!(
+            r.all_passed(),
+            "[{name}] {} of {} seeds failed",
+            r.failures.len(),
+            r.cases
+        );
+        assert!(r.total_issued > 50_000, "[{name}] campaign barely ran");
+        grand_recoveries += r.total_recoveries;
+        grand_faults += r.total_faults;
+    }
+    // The campaign must actually exercise the crash-recovery machinery,
+    // not pass vacuously.
+    assert!(
+        grand_recoveries >= 20,
+        "only {grand_recoveries} recoveries across 200 seeds"
+    );
+    assert!(grand_faults >= 400, "only {grand_faults} faults injected");
+}
+
+/// Same seed → byte-identical plan and violation-for-violation
+/// identical report, twice in a row.
+#[test]
+fn chaos_cases_replay_deterministically() {
+    for cfg in [ChaosConfig::abort_to_host(), ChaosConfig::quiesce_replay()] {
+        for seed in [3u64, 17, 0xDEAD] {
+            let (plan_a, report_a) = run_seed(&cfg, seed);
+            let (plan_b, report_b) = run_seed(&cfg, seed);
+            assert_eq!(plan_a.to_text(), plan_b.to_text());
+            assert_eq!(report_a, report_b, "seed {seed} replay diverged");
+        }
+    }
+}
+
+/// FailPolicy::QuiesceReplay end to end: a mid-churn engine crash with
+/// I/O in flight journals the command table, replays it on restart, and
+/// no tenant sees a single failed I/O — the crash is fully transparent.
+#[test]
+fn quiesce_replay_crash_is_transparent_to_tenants() {
+    let cfg = ChaosConfig::quiesce_replay();
+    // 25 µs after a churn step fires, its writes are mid-flight: the
+    // crash catches a non-empty command table, so the journal is
+    // exercised rather than trivially empty.
+    let plan = FaultPlan::new(0x51E5CE).with(
+        ms(9) + SimDuration::from_us(25),
+        FaultKind::EngineCrash {
+            restart_after: SimDuration::from_ms(2),
+        },
+    );
+    let report = run_case(&cfg, &plan);
+    for v in &report.violations {
+        eprintln!("violation: {v}");
+    }
+    assert!(report.passed());
+    assert_eq!(report.recoveries, 1);
+    assert!(
+        report.replayed > 0,
+        "crash with churn in flight must replay journaled commands"
+    );
+    assert_eq!(
+        report.failed_io, 0,
+        "QuiesceReplay must hide the crash from tenants"
+    );
+    assert_eq!(report.aborted_on_recovery, 0);
+}
+
+/// The same crash under AbortToHost surfaces explicit aborts instead —
+/// the other end of the policy contract (nothing silent, nothing
+/// duplicated).
+#[test]
+fn abort_to_host_crash_surfaces_aborts_not_losses() {
+    let cfg = ChaosConfig::abort_to_host();
+    let plan = FaultPlan::new(0xAB047).with(
+        ms(9) + SimDuration::from_us(25),
+        FaultKind::EngineCrash {
+            restart_after: SimDuration::from_ms(2),
+        },
+    );
+    let report = run_case(&cfg, &plan);
+    for v in &report.violations {
+        eprintln!("violation: {v}");
+    }
+    assert!(report.passed());
+    assert_eq!(report.recoveries, 1);
+    assert!(
+        report.aborted_on_recovery > 0,
+        "crash with churn in flight must abort journaled commands to the host"
+    );
+    assert!(report.failed_io >= report.aborted_on_recovery);
+}
+
+/// Oracle self-test (the acceptance's deliberate bug): arming the
+/// engine's journal-tail-drop sabotage loses one journaled command per
+/// crash. The campaign must catch it, ddmin must shrink the schedule to
+/// ≤ 3 events, and the shrunk repro must replay bit-identically.
+#[test]
+fn sabotaged_journal_is_caught_and_shrunk_to_minimal_repro() {
+    let mut cfg = ChaosConfig::abort_to_host();
+    cfg.sabotage_drop_journal_tail = true;
+
+    let mut caught = None;
+    for seed in 0..40u64 {
+        let (plan, report) = run_seed(&cfg, seed);
+        if !report.passed() {
+            caught = Some((seed, plan, report));
+            break;
+        }
+    }
+    let (seed, plan, report) = caught.expect("sabotage not caught within 40 seeds");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, bm_chaos::Violation::LostCompletions { .. })),
+        "seed {seed}: expected a lost completion, got {:?}",
+        report.violations
+    );
+
+    let shrunk = shrink_failing_case(&cfg, &plan);
+    assert!(
+        shrunk.events().len() <= 3,
+        "shrunk repro still has {} events:\n{}",
+        shrunk.events().len(),
+        shrunk.to_text()
+    );
+    assert!(
+        shrunk.events().iter().any(|e| matches!(
+            e.kind,
+            FaultKind::EngineCrash { .. } | FaultKind::PowerLoss { .. }
+        )),
+        "minimal repro must retain a crash-class event"
+    );
+
+    // Minimal repro still fails, deterministically, twice.
+    let first = run_case(&cfg, &shrunk);
+    let second = run_case(&cfg, &shrunk);
+    assert!(!first.passed());
+    assert_eq!(first, second, "shrunk repro replay diverged");
+
+    // And the serialized artifact round-trips to the same run.
+    let artifact = ReproArtifact::new(&cfg, shrunk);
+    let text = artifact.to_text();
+    let parsed = ReproArtifact::from_text(&text).expect("artifact parses");
+    assert_eq!(parsed, artifact);
+    assert_eq!(parsed.replay(), first, "artifact replay diverged");
+}
+
+/// Fault-free control: an empty plan yields zero violations, zero
+/// recoveries, zero failed I/O — the chaos harness itself injects no
+/// nondeterminism or spurious failures.
+#[test]
+fn empty_plan_is_a_clean_control() {
+    for cfg in [ChaosConfig::abort_to_host(), ChaosConfig::quiesce_replay()] {
+        let report = run_case(&cfg, &FaultPlan::new(7));
+        assert!(report.passed());
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.failed_io, 0);
+        assert!(report.issued > 1_000);
+        assert_eq!(report.issued, report.completed);
+    }
+}

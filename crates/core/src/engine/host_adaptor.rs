@@ -263,6 +263,25 @@ impl BackEndPort {
         Some(origin)
     }
 
+    /// Abandons every live slot at once (engine crash): the rings are
+    /// about to be reset, so no in-flight command can ever complete
+    /// through this port again. Returns the abandoned origins in CID
+    /// order. The slots become zombies; callers follow up with
+    /// [`BackEndPort::reap_zombies`] before [`BackEndPort::reset_rings`]
+    /// (the departed firmware instance's completions can never arrive
+    /// on the reset rings, so reaping immediately is safe).
+    pub fn abandon_all_live(&mut self) -> Vec<Outstanding> {
+        let mut origins = Vec::new();
+        for cid in 0..self.entries {
+            if self.outstanding[cid as usize].is_some() {
+                if let Some(origin) = self.abandon(Cid(cid)) {
+                    origins.push(origin);
+                }
+            }
+        }
+        origins
+    }
+
     /// Frees every zombie slot. Only safe once the device behind this
     /// port can no longer complete the abandoned commands — i.e. right
     /// after a hot-plug hardware replacement. Returns how many slots

@@ -24,6 +24,7 @@ pub mod counters;
 pub mod dma_routing;
 pub mod front_end;
 pub mod host_adaptor;
+mod journal;
 pub mod mapping;
 pub mod qos;
 pub mod resources;
@@ -46,7 +47,7 @@ use bm_sim::resource::BandwidthLink;
 use bm_sim::telemetry::{CmdId, TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::SsdId;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// Per-stage latencies of the hardware pipeline.
 ///
@@ -127,6 +128,13 @@ pub struct EngineConfig {
     pub max_retries: u32,
     /// What to do with a persistently failed command.
     pub fail_policy: FailPolicy,
+    /// Chaos-testing sabotage knob: silently drop the last journaled
+    /// record when a crash writes the journal, so one in-flight command
+    /// is lost across recovery. Exists so the chaos harness can prove
+    /// its invariant oracles catch a real conservation bug; never set
+    /// outside those tests.
+    #[doc(hidden)]
+    pub debug_drop_journal_tail: bool,
 }
 
 impl EngineConfig {
@@ -146,6 +154,7 @@ impl EngineConfig {
             command_timeout: None,
             max_retries: 2,
             fail_policy: FailPolicy::AbortToHost,
+            debug_drop_journal_tail: false,
         }
     }
 
@@ -262,9 +271,22 @@ pub enum RecoveryEvent {
         /// Slots reclaimed.
         count: usize,
     },
+    /// The engine firmware crashed: rings quiesced, pipeline state
+    /// journaled to the persistent-model region.
+    EngineCrashed {
+        /// Commands captured in the crash journal.
+        journaled: usize,
+    },
+    /// The engine restarted and ran recovery over the crash journal.
+    EngineRecovered {
+        /// Journaled commands re-entered into the pipeline.
+        replayed: u32,
+        /// Journaled commands aborted to the host.
+        aborted: u32,
+    },
 }
 
-/// Counters for the timeout/retry machinery.
+/// Counters for the timeout/retry and crash-recovery machinery.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResilienceStats {
     /// Attempts that hit their deadline.
@@ -275,6 +297,14 @@ pub struct ResilienceStats {
     pub aborts: u64,
     /// Quiesce-and-replay escalations.
     pub quiesces: u64,
+    /// Completed crash-recovery cycles.
+    pub recoveries: u64,
+    /// Journaled commands re-entered into the pipeline on recovery.
+    pub replayed: u64,
+    /// Journaled commands aborted to the host on recovery.
+    pub aborted_on_recovery: u64,
+    /// Total wall time spent crashed (crash instant → recovery done).
+    pub recovery_time: SimDuration,
 }
 
 /// Why a bind operation failed.
@@ -399,6 +429,26 @@ pub struct BmsEngine {
     /// Recovery actions not yet drained by the harness.
     recovery_log: Vec<RecoveryEvent>,
     resilience: ResilienceStats,
+    /// Firmware-dead flag: between [`Self::crash`] and [`Self::recover`]
+    /// the data plane is down and the harness defers doorbells.
+    crashed: bool,
+    /// Bumped on every crash. Back-end stages minted before the crash
+    /// carry the old epoch and are dropped by the harness, so stale
+    /// doorbells and completions can never corrupt the reset rings.
+    epoch: u64,
+    /// Per-SSD ring incarnation: bumped whenever that SSD's back-end
+    /// rings reset (engine crash = all of them; hot-plug replacement or
+    /// surprise re-insert = just that one). The harness stamps back-end
+    /// stages with the minting ring epoch and drops stale ones, fencing
+    /// reused CIDs on the fresh rings from the dead incarnation's
+    /// in-flight events.
+    ring_epochs: Vec<u64>,
+    /// When the current (or last) crash happened.
+    crashed_at: SimTime,
+    /// When the firmware cold-restart completes (valid while crashed).
+    restart_at: SimTime,
+    /// The persistent-model journal region written by [`Self::crash`].
+    journal: Vec<u8>,
     /// Span/event recorder shared with the testbed (disabled by default;
     /// every call is then a no-op, keeping the pipeline byte-identical).
     telemetry: TelemetryHandle,
@@ -531,6 +581,12 @@ impl BmsEngine {
             pending_retry: BTreeMap::new(),
             recovery_log: Vec::new(),
             resilience: ResilienceStats::default(),
+            crashed: false,
+            epoch: 0,
+            ring_epochs: vec![0; cfg.ssd_count],
+            crashed_at: SimTime::ZERO,
+            restart_at: SimTime::ZERO,
+            journal: Vec::new(),
             telemetry: TelemetryHandle::disabled(),
             metrics: MetricsHandle::disabled(),
             func_metric_keys,
@@ -824,6 +880,11 @@ impl BmsEngine {
         host: &mut HostMemory,
     ) -> Vec<EngineAction> {
         let mut actions = Vec::new();
+        if self.crashed {
+            // The crash journaled (or orphaned) every in-flight attempt;
+            // deadlines armed by the dead instance are void.
+            return actions;
+        }
         let Some(entry) = self.pending_retry.remove(&seq) else {
             return actions; // completed in time
         };
@@ -930,10 +991,49 @@ impl BmsEngine {
         let port = self.adaptor.port_mut(ssd);
         let count = port.reap_zombies();
         port.reset_rings(&mut self.chip);
+        self.ring_epochs[ssd.0 as usize] += 1;
         if count > 0 {
             self.recovery_log
                 .push(RecoveryEvent::SlotsReclaimed { ssd, count });
         }
+    }
+
+    /// Surprise re-attach of SSD `ssd` in its bay: the device rebooted,
+    /// so the rings reset on both sides and in-flight attempts can
+    /// never complete. Live attempts are aborted to the host (fan-out
+    /// siblings on healthy SSDs still count down normally), zombie
+    /// slots are reaped, and — if the SSD was quiesced — forwarding
+    /// resumes and the backlog drains. The harness must attach fresh
+    /// SSD-side queue views after this returns.
+    pub fn surprise_reinsert(
+        &mut self,
+        now: SimTime,
+        ssd: SsdId,
+        host: &mut HostMemory,
+    ) -> Vec<EngineAction> {
+        let port = self.adaptor.port_mut(ssd);
+        let origins = port.abandon_all_live();
+        let count = port.reap_zombies() + origins.len();
+        port.reset_rings(&mut self.chip);
+        self.ring_epochs[ssd.0 as usize] += 1;
+        let mut actions = Vec::new();
+        for origin in origins {
+            // The pristine retry copy dies with the attempt — a later
+            // deadline for this seq must not resurrect the command.
+            self.pending_retry.remove(&origin.seq);
+            self.finish_origin(now, origin, Status::Aborted, &mut actions);
+        }
+        if count > 0 {
+            self.recovery_log
+                .push(RecoveryEvent::SlotsReclaimed { ssd, count });
+        }
+        if self.paused[ssd.0 as usize] {
+            self.paused[ssd.0 as usize] = false;
+            let mut drained = self.drain_backlog(now, ssd, host);
+            actions.append(&mut drained);
+        }
+        coalesce_actions(&mut actions);
+        actions
     }
 
     /// Drains the recovery actions taken since the last call (the
@@ -945,6 +1045,251 @@ impl BmsEngine {
     /// Timeout/retry counters.
     pub fn resilience_stats(&self) -> ResilienceStats {
         self.resilience
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / recovery state machine
+    // ------------------------------------------------------------------
+
+    /// Whether the firmware is currently crashed (data plane down).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The crash epoch. The harness stamps back-end stages with the
+    /// epoch they were minted under and drops stale ones after a crash
+    /// bumps it, fencing the reset rings from in-flight events.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The ring incarnation of `ssd`'s back-end rings (see the field
+    /// docs): bumped by engine crashes, hot-plug replacement, and
+    /// surprise re-inserts. This — not [`BmsEngine::epoch`] — is what
+    /// the harness stamps onto back-end stages.
+    pub fn ring_epoch(&self, ssd: SsdId) -> u64 {
+        self.ring_epochs[ssd.0 as usize]
+    }
+
+    /// When the current cold-restart completes. Meaningful only while
+    /// [`BmsEngine::is_crashed`]; the harness re-schedules host
+    /// doorbells that arrive during the outage to this instant.
+    pub fn restart_at(&self) -> SimTime {
+        self.restart_at
+    }
+
+    /// The engine firmware dies at `now` and will cold-restart at
+    /// `restart_at`.
+    ///
+    /// Models the card-local crash path: the watchdog catches the dead
+    /// firmware, journals the volatile pipeline state to the
+    /// persistent-model region (the §IV-D "store I/O context" mechanism
+    /// applied to a whole-engine failure), quiesces the back-end rings,
+    /// and bumps the epoch so events minted by the dead instance are
+    /// fenced. Until [`BmsEngine::recover`] runs, host SQ doorbells are
+    /// deferred by the harness and QoS/deadline callbacks are no-ops.
+    ///
+    /// A crash while already crashed just extends the outage.
+    pub fn crash(&mut self, now: SimTime, restart_at: SimTime) {
+        if self.crashed {
+            self.restart_at = self.restart_at.max(restart_at);
+            return;
+        }
+        self.crashed = true;
+        self.epoch += 1;
+        for e in &mut self.ring_epochs {
+            *e += 1;
+        }
+        self.crashed_at = now;
+        self.restart_at = restart_at;
+        let mut image = journal::JournalImage {
+            paused: self.paused.clone(),
+            fanout: self.fanout.iter().map(|(&k, &v)| (k, v)).collect(),
+            ..journal::JournalImage::default()
+        };
+        self.fanout.clear();
+        // Command table first: in-flight attempts that kept a pristine
+        // copy (the timeout machinery's retry entries), in forwarding
+        // order — replay must not reorder attempts.
+        let pending = std::mem::take(&mut self.pending_retry);
+        let mut journaled_seqs = BTreeSet::new();
+        for (seq, entry) in pending {
+            journaled_seqs.insert(seq);
+            image.spans.push((entry.ssd.0, entry.io));
+        }
+        // Then the buffered backlog behind them, per SSD in FIFO order.
+        for (sidx, backlog) in self.backlog.iter_mut().enumerate() {
+            for io in backlog.drain(..) {
+                image.spans.push((sidx as u8, io));
+            }
+        }
+        // QoS-deferred commands, in release order. The release FIFO does
+        // not survive — replay re-enters at the forwarding step.
+        let mut deferred: Vec<QosRelease> = self.qos_heap.drain().collect();
+        deferred.sort_by_key(|r| (r.at, r.seq));
+        image.unmapped.extend(deferred.into_iter().map(|r| r.io));
+        for f in &mut self.functions {
+            if let Some(b) = f.binding_mut() {
+                b.qos.clear_buffered();
+            }
+        }
+        // Quiesce the rings: every live slot is abandoned. Slots whose
+        // command has a journaled copy replay on restart; the rest are
+        // orphans recovery can only abort. The dead instance's stale
+        // completions can never arrive on the reset rings (the epoch
+        // fence drops them), so zombies are reaped immediately.
+        for i in 0..self.adaptor.len() {
+            let ssd = SsdId(i as u8);
+            let port = self.adaptor.port_mut(ssd);
+            for origin in port.abandon_all_live() {
+                if !journaled_seqs.contains(&origin.seq) {
+                    image.orphans.push(journal::OrphanOrigin {
+                        func: origin.func,
+                        host_qid: origin.host_qid,
+                        host_cid: origin.host_cid,
+                        bytes: origin.bytes,
+                        is_write: origin.is_write,
+                        fetched_at: origin.fetched_at,
+                        cmd: origin.cmd,
+                    });
+                }
+            }
+            port.reap_zombies();
+            port.reset_rings(&mut self.chip);
+        }
+        if self.cfg.debug_drop_journal_tail {
+            image.spans.pop();
+        }
+        let journaled = image.len();
+        self.journal = journal::encode(&image);
+        self.recovery_log
+            .push(RecoveryEvent::EngineCrashed { journaled });
+    }
+
+    /// The firmware cold-restart completes: decode the crash journal
+    /// and replay or abort every journaled command per
+    /// [`EngineConfig::fail_policy`].
+    ///
+    /// `QuiesceReplay` re-enqueues journaled span attempts and
+    /// re-forwards QoS-deferred commands (restoring the fan-out
+    /// countdown first, so multi-span commands still complete exactly
+    /// once); orphans — in-flight attempts with no journaled copy —
+    /// are aborted to the host. `AbortToHost` aborts everything, one
+    /// [`Status::Aborted`] completion per host command. The harness
+    /// must re-attach fresh SSD ring views *before* calling this (the
+    /// crash reset the engine-side rings to zero).
+    ///
+    /// A no-op if the engine is not crashed.
+    pub fn recover(&mut self, now: SimTime, host: &mut HostMemory) -> Vec<EngineAction> {
+        if !self.crashed {
+            return Vec::new();
+        }
+        self.crashed = false;
+        let journal_bytes = std::mem::take(&mut self.journal);
+        let image = match journal::decode(&journal_bytes) {
+            Some(image) => image,
+            None => {
+                debug_assert!(false, "crash journal failed to decode");
+                journal::JournalImage::default()
+            }
+        };
+        let journal::JournalImage {
+            paused,
+            fanout,
+            spans,
+            unmapped,
+            orphans,
+        } = image;
+        // Management-plane quiesce state survives the restart.
+        if paused.len() == self.paused.len() {
+            self.paused = paused;
+        }
+        let orphan_keys: BTreeSet<(u8, u16, u16)> = orphans
+            .iter()
+            .map(|o| (o.func.index(), o.host_qid.0, o.host_cid.0))
+            .collect();
+        let mut actions = Vec::new();
+        let mut replayed: u32 = 0;
+        let mut aborted: u32 = 0;
+        // One abort per host command, however many journaled records
+        // share its key.
+        let mut abort_seen = BTreeSet::new();
+        let mut abort_once = |this: &mut Self,
+                              key: (u8, u16, u16),
+                              origin: Outstanding,
+                              actions: &mut Vec<EngineAction>| {
+            if abort_seen.insert(key) {
+                aborted += 1;
+                this.finish_origin(now, origin, Status::Aborted, actions);
+            }
+        };
+        match self.cfg.fail_policy {
+            FailPolicy::QuiesceReplay => {
+                // Restore the fan-out countdown for replayed commands.
+                // Orphaned commands abort whole: their keys stay out so
+                // the single abort completion is untracked, and their
+                // sibling span records are dropped below (replaying
+                // them would count the countdown down to a second
+                // host completion).
+                for (key, v) in fanout {
+                    if !orphan_keys.contains(&key) {
+                        self.fanout.insert(key, v);
+                    }
+                }
+                for (ssd, io) in spans {
+                    let key = (io.func.index(), io.host_qid.0, io.host_cid.0);
+                    if orphan_keys.contains(&key) {
+                        continue;
+                    }
+                    replayed += 1;
+                    self.enqueue_backend(now, SsdId(ssd), io, host, &mut actions);
+                }
+                for io in unmapped {
+                    let key = (io.func.index(), io.host_qid.0, io.host_cid.0);
+                    if orphan_keys.contains(&key) {
+                        continue;
+                    }
+                    replayed += 1;
+                    self.forward_io(now, io, host, &mut actions);
+                }
+                for o in &orphans {
+                    let key = (o.func.index(), o.host_qid.0, o.host_cid.0);
+                    abort_once(self, key, o.to_origin(now), &mut actions);
+                }
+            }
+            FailPolicy::AbortToHost => {
+                // The fan-out table is not restored: each command gets
+                // exactly one untracked abort completion.
+                let block_size = self.cfg.block_size;
+                for io in spans.into_iter().map(|(_, io)| io).chain(unmapped) {
+                    let key = (io.func.index(), io.host_qid.0, io.host_cid.0);
+                    let origin = Outstanding {
+                        func: io.func,
+                        host_qid: io.host_qid,
+                        host_cid: io.host_cid,
+                        bytes: io.sqe.transfer_len(block_size),
+                        is_write: io.sqe.io_opcode() == Some(IoOpcode::Write),
+                        fetched_at: io.fetched_at,
+                        pushed_at: now,
+                        seq: 0,
+                        cmd: io.cmd,
+                    };
+                    abort_once(self, key, origin, &mut actions);
+                }
+                for o in &orphans {
+                    let key = (o.func.index(), o.host_qid.0, o.host_cid.0);
+                    abort_once(self, key, o.to_origin(now), &mut actions);
+                }
+            }
+        }
+        self.resilience.recoveries += 1;
+        self.resilience.replayed += u64::from(replayed);
+        self.resilience.aborted_on_recovery += u64::from(aborted);
+        self.resilience.recovery_time += now.saturating_since(self.crashed_at);
+        self.recovery_log
+            .push(RecoveryEvent::EngineRecovered { replayed, aborted });
+        coalesce_actions(&mut actions);
+        actions
     }
 
     // ------------------------------------------------------------------
@@ -971,8 +1316,17 @@ impl BmsEngine {
             return Vec::new();
         };
         if is_cq {
-            // Host consumed completions.
+            // Host consumed completions. Accepted even while crashed:
+            // the head doorbell only acknowledges consumption, and
+            // dropping it would wedge the completion fabric's view of
+            // free CQ space across the outage.
             let _ = pair.cq.doorbell_head(value);
+            return Vec::new();
+        }
+        if self.crashed {
+            // Firmware dead: SQ tails are not fetched. The harness
+            // defers the doorbell stage to the restart instant, so a
+            // direct call landing here is dropped, not deferred.
             return Vec::new();
         }
         if pair.sq.doorbell_tail(value).is_err() {
@@ -1497,6 +1851,11 @@ impl BmsEngine {
     /// Releases QoS-buffered commands due at `now`.
     pub fn qos_wakeup(&mut self, now: SimTime, host: &mut HostMemory) -> Vec<EngineAction> {
         let mut actions = Vec::new();
+        if self.crashed {
+            // The crash journaled the deferred commands; wakeups armed
+            // by the dead instance are void.
+            return actions;
+        }
         while let Some(top) = self.qos_heap.peek() {
             if top.at > now {
                 actions.push(EngineAction::QosWakeup { at: top.at });
@@ -2174,5 +2533,239 @@ mod tests {
         assert!(actions.is_empty());
         assert_eq!(engine.resilience_stats().timeouts, 0);
         assert!(engine.take_recovery_events().is_empty());
+    }
+
+    #[test]
+    fn crash_journals_and_quiesce_replay_replays() {
+        let (mut engine, mut host, seq, _deadline) =
+            timeout_rig(SimDuration::from_ms(10), 1, FailPolicy::QuiesceReplay);
+        let crash_at = SimTime::from_nanos(2_000);
+        let restart_at = crash_at + SimDuration::from_us(100);
+        let epoch_before = engine.epoch();
+        engine.crash(crash_at, restart_at);
+        assert!(engine.is_crashed());
+        assert_eq!(engine.epoch(), epoch_before + 1);
+        assert_eq!(engine.restart_at(), restart_at);
+        assert!(matches!(
+            engine.take_recovery_events()[..],
+            [RecoveryEvent::EngineCrashed { journaled: 1 }]
+        ));
+        // Data plane down: SQ doorbells are dropped, stale deadlines
+        // and QoS wakeups are void.
+        let actions = engine.host_doorbell_write(
+            crash_at,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        assert!(actions.is_empty(), "SQ doorbell while crashed");
+        assert!(engine
+            .check_deadline(restart_at, SsdId(0), seq, &mut host)
+            .is_empty());
+        assert!(engine.qos_wakeup(restart_at, &mut host).is_empty());
+
+        // Restart: the journaled in-flight command replays.
+        let actions = engine.recover(restart_at, &mut host);
+        assert!(!engine.is_crashed());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, EngineAction::BackendDoorbell { ssd: SsdId(0), .. })));
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, EngineAction::CommandDeadline { .. })),
+            "replayed attempt re-arms its deadline"
+        );
+        let stats = engine.resilience_stats();
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.replayed, 1);
+        assert_eq!(stats.aborted_on_recovery, 0);
+        assert_eq!(stats.recovery_time, SimDuration::from_us(100));
+        assert!(matches!(
+            engine.take_recovery_events()[..],
+            [RecoveryEvent::EngineRecovered {
+                replayed: 1,
+                aborted: 0,
+            }]
+        ));
+
+        // The replayed attempt completes end-to-end, exactly once.
+        let (_, mut ssd_cq) = engine.ssd_rings(SsdId(0));
+        let mut router_host = HostMemory::new(1 << 20);
+        {
+            let mut router = engine.dma_router(&mut router_host);
+            ssd_cq
+                .post(&mut router, Cqe::success(Cid(0), QueueId(1), 1, false))
+                .unwrap();
+        }
+        let (actions, _) = engine.on_backend_completion(
+            restart_at + SimDuration::from_us(50),
+            SsdId(0),
+            &mut host,
+        );
+        assert!(
+            matches!(
+                actions[..],
+                [EngineAction::HostCompletion {
+                    status: Status::Success,
+                    cid: Cid(9),
+                    ..
+                }]
+            ),
+            "got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn crash_with_abort_policy_aborts_each_command_once() {
+        let (mut engine, mut host, _seq, _deadline) =
+            timeout_rig(SimDuration::from_ms(10), 1, FailPolicy::AbortToHost);
+        let crash_at = SimTime::from_nanos(2_000);
+        engine.crash(crash_at, crash_at + SimDuration::from_us(100));
+        let actions = engine.recover(crash_at + SimDuration::from_us(100), &mut host);
+        assert!(
+            matches!(
+                actions[..],
+                [EngineAction::HostCompletion {
+                    status: Status::Aborted,
+                    cid: Cid(9),
+                    ..
+                }]
+            ),
+            "got {actions:?}"
+        );
+        let stats = engine.resilience_stats();
+        assert_eq!(stats.replayed, 0);
+        assert_eq!(stats.aborted_on_recovery, 1);
+    }
+
+    #[test]
+    fn crash_without_timeout_machinery_orphans_abort() {
+        // No command timeout → no pristine retry copy is kept, so the
+        // in-flight attempt is an orphan recovery can only abort, even
+        // under the replay policy.
+        let mut cfg = EngineConfig::paper_default(4);
+        cfg.fail_policy = FailPolicy::QuiesceReplay;
+        let mut engine = BmsEngine::new(cfg);
+        let mut host = HostMemory::new(1 << 30);
+        engine
+            .bind_namespace(fid(0), 64 << 30, Placement::Single(SsdId(0)))
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        let buf = host.alloc(4096).unwrap();
+        let sqe = Sqe::io(
+            IoOpcode::Read,
+            Cid(9),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            1,
+            buf,
+            PciAddr::NULL,
+        );
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 64);
+        host_sq.push(&mut host, &sqe).unwrap();
+        let actions = engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, EngineAction::BackendDoorbell { .. })));
+        let crash_at = SimTime::from_nanos(2_000);
+        engine.crash(crash_at, crash_at + SimDuration::from_us(100));
+        let actions = engine.recover(crash_at + SimDuration::from_us(100), &mut host);
+        assert!(
+            matches!(
+                actions[..],
+                [EngineAction::HostCompletion {
+                    status: Status::Aborted,
+                    cid: Cid(9),
+                    ..
+                }]
+            ),
+            "got {actions:?}"
+        );
+        let stats = engine.resilience_stats();
+        assert_eq!(stats.replayed, 0);
+        assert_eq!(stats.aborted_on_recovery, 1);
+    }
+
+    #[test]
+    fn double_crash_extends_the_outage() {
+        let (mut engine, mut host, _seq, _deadline) =
+            timeout_rig(SimDuration::from_ms(10), 1, FailPolicy::QuiesceReplay);
+        let t1 = SimTime::from_nanos(2_000);
+        engine.crash(t1, t1 + SimDuration::from_us(50));
+        let epoch = engine.epoch();
+        engine.crash(
+            t1 + SimDuration::from_us(10),
+            t1 + SimDuration::from_us(200),
+        );
+        assert_eq!(engine.epoch(), epoch, "still the same outage");
+        assert_eq!(engine.restart_at(), t1 + SimDuration::from_us(200));
+        let actions = engine.recover(engine.restart_at(), &mut host);
+        assert!(!engine.is_crashed());
+        assert_eq!(engine.resilience_stats().recoveries, 1);
+        assert!(!actions.is_empty());
+    }
+
+    #[test]
+    fn dropped_journal_tail_loses_a_command() {
+        // The chaos sabotage knob: with the tail record dropped the
+        // journaled command vanishes — recovery replays nothing and the
+        // host never hears back. The chaos oracles must catch this.
+        let mut cfg = EngineConfig::paper_default(4)
+            .with_command_timeout(SimDuration::from_ms(10), FailPolicy::QuiesceReplay);
+        cfg.debug_drop_journal_tail = true;
+        let mut engine = BmsEngine::new(cfg);
+        let mut host = HostMemory::new(1 << 30);
+        engine
+            .bind_namespace(fid(0), 64 << 30, Placement::Single(SsdId(0)))
+            .unwrap();
+        engine.set_function_enabled(fid(0), true);
+        let sq_base = host.alloc(64 * 64).unwrap();
+        let cq_base = host.alloc(64 * 16).unwrap();
+        engine
+            .function_mut(fid(0))
+            .create_io_cq(QueueId(1), cq_base, 64);
+        engine
+            .function_mut(fid(0))
+            .create_io_sq(QueueId(1), sq_base, 64);
+        let buf = host.alloc(4096).unwrap();
+        let sqe = Sqe::io(
+            IoOpcode::Read,
+            Cid(9),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            1,
+            buf,
+            PciAddr::NULL,
+        );
+        let mut host_sq = bm_nvme::SubmissionQueue::new(QueueId(1), sq_base, 64);
+        host_sq.push(&mut host, &sqe).unwrap();
+        engine.host_doorbell_write(
+            SimTime::ZERO,
+            fid(0),
+            DoorbellLayout::sq_tail_offset(QueueId(1)),
+            1,
+            &mut host,
+        );
+        let crash_at = SimTime::from_nanos(2_000);
+        engine.crash(crash_at, crash_at + SimDuration::from_us(100));
+        let actions = engine.recover(crash_at + SimDuration::from_us(100), &mut host);
+        assert!(actions.is_empty(), "the command was silently lost");
+        assert_eq!(engine.resilience_stats().replayed, 0);
     }
 }

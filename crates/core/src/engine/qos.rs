@@ -132,6 +132,15 @@ impl NamespaceQos {
         self.buffered.len()
     }
 
+    /// Drops every buffered release slot without touching the token
+    /// buckets. Used by crash recovery: the buffered commands themselves
+    /// are journaled and replayed through [`NamespaceQos::admit`] again,
+    /// so the stale release FIFO must not survive the restart.
+    pub fn clear_buffered(&mut self) {
+        self.buffered.clear();
+        self.last_release = SimTime::ZERO;
+    }
+
     /// Commands admitted without buffering.
     pub fn admitted(&self) -> u64 {
         self.admitted

@@ -9,7 +9,7 @@ use crate::mask::{mask_source, MaskedLine};
 /// Crates whose code is on the simulated data/control path. Iteration
 /// order, panics, and hidden nondeterminism in these crates change
 /// simulated *behaviour*, not just logging.
-pub const SIM_CRITICAL: &[&str] = &["sim", "core", "ssd", "pcie", "nvme", "testbed"];
+pub const SIM_CRITICAL: &[&str] = &["sim", "core", "ssd", "pcie", "nvme", "testbed", "chaos"];
 
 /// The rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -15,13 +15,12 @@ use bm_nvme::command::{AdminOpcode, IoOpcode, Opcode, Sqe};
 use bm_nvme::identify::{IdentifyController, IdentifyNamespace};
 use bm_nvme::prp::PrpPair;
 use bm_nvme::queue::{CompletionQueue, QueueFull, SubmissionQueue};
-#[cfg(test)]
-use bm_nvme::types::Lba;
-use bm_nvme::types::{Cid, Nsid, QueueId};
+use bm_nvme::types::{Cid, Lba, Nsid, QueueId};
 use bm_nvme::{Cqe, Namespace, Status};
 use bm_pcie::{DmaContext, PciAddr};
 use bm_sim::{SimDuration, SimRng, SimTime};
 use bytes::Bytes;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifies one physical SSD behind the card.
@@ -150,6 +149,22 @@ struct FaultState {
     dropped: u64,
 }
 
+/// One recently persisted write, kept so a power-loss fault can tear
+/// it. `old` holds the overwritten content of each block (captured
+/// before the write landed); `complete_at` is the device-internal
+/// completion time — a write whose completion has already fired by the
+/// power-loss instant is durable and never torn.
+#[derive(Debug, Clone)]
+struct RecentWrite {
+    slba: Lba,
+    old: Vec<Bytes>,
+    complete_at: SimTime,
+}
+
+/// Depth of the torn-write log: only this many most-recent writes are
+/// candidates for tearing, bounding the capture cost per device.
+const TORN_WRITE_LOG_DEPTH: usize = 32;
+
 /// Cumulative device-service accounting: every completion's internal
 /// service interval (`at - submitted_at`, injected spikes included)
 /// summed over the run. `busy / elapsed` is the service-time occupancy
@@ -184,6 +199,9 @@ pub struct Ssd {
     last_read_end: u64,
     service: ServiceStats,
     faults: FaultState,
+    /// Torn-write candidates, newest last. Only populated in
+    /// [`DataMode::Full`]; empty (and free) in timing-only runs.
+    recent_writes: VecDeque<RecentWrite>,
 }
 
 impl fmt::Debug for Ssd {
@@ -225,6 +243,7 @@ impl Ssd {
             last_read_end: u64::MAX,
             service: ServiceStats::default(),
             faults: FaultState::default(),
+            recent_writes: VecDeque::new(),
             cfg,
         }
     }
@@ -318,6 +337,65 @@ impl Ssd {
     /// Total I/O commands silently swallowed by injected drops.
     pub fn dropped_commands(&self) -> u64 {
         self.faults.dropped
+    }
+
+    /// Power loss at `now`: up to `torn_writes` of the newest *un-acked*
+    /// writes (device completion not yet fired at `now`) are torn —
+    /// persisted content reverts to the pre-write bytes from a
+    /// 512-byte-aligned cut point to the end of the write, modelling a
+    /// capacitor-backed flush that stopped mid-stripe. Writes whose
+    /// completion already fired are durable and never touched, so a
+    /// read-back oracle over host-acked writes stays exact. Returns the
+    /// number of writes actually torn (always 0 in timing-only mode).
+    ///
+    /// `rng` must be forked from the fault plan's seed: the tear
+    /// geometry is fault-plan state, not device-timing state.
+    pub fn power_loss(&mut self, now: SimTime, torn_writes: u32, mut rng: SimRng) -> u32 {
+        let mut victims = Vec::new();
+        while let Some(w) = self.recent_writes.pop_back() {
+            if victims.len() as u32 >= torn_writes {
+                break;
+            }
+            if w.complete_at > now {
+                victims.push(w);
+            }
+        }
+        // The rest of the log is moot: the outage reboots the device.
+        self.recent_writes.clear();
+        let bs = self.ns.block_size();
+        let sectors_per_block = (bs / 512).max(1);
+        let torn = victims.len() as u32;
+        for w in victims {
+            let nblocks = w.old.len() as u64;
+            if nblocks == 0 {
+                continue;
+            }
+            // New data persisted up to the cut; old bytes resurface
+            // from the cut sector to the end of the write.
+            let cut_block = rng.below(nblocks);
+            let cut_off = (rng.below(sectors_per_block) * 512) as usize;
+            for i in cut_block..nblocks {
+                let lba = w.slba + i;
+                let old = &w.old[i as usize];
+                if i == cut_block && cut_off > 0 {
+                    let mut merged = self.store.read_block(lba).to_vec();
+                    if merged.len() == old.len() && cut_off < merged.len() {
+                        merged[cut_off..].copy_from_slice(&old[cut_off..]);
+                        self.store.write_block(lba, &merged);
+                    }
+                } else {
+                    self.store.write_block(lba, old);
+                }
+            }
+        }
+        torn
+    }
+
+    /// Re-inserts a previously dead device (surprise-removal undo): the
+    /// dead flag clears; queue attachment is the caller's job (the
+    /// engine resets rings and re-attaches, as for a fresh hot-plug).
+    pub fn revive(&mut self) {
+        self.faults.dead = false;
     }
 
     /// Attaches the admin queue pair (replacing any previous one).
@@ -500,6 +578,7 @@ impl Ssd {
         };
         match op {
             IoOpcode::Write => {
+                let mut old = Vec::new();
                 if full_data {
                     let segments = match prp.segments(&mut dma) {
                         Ok(s) => s,
@@ -512,12 +591,28 @@ impl Ssd {
                         data.extend_from_slice(&buf);
                     }
                     let bs = self.ns.block_size() as usize;
+                    old.reserve(nblocks as usize);
                     for (i, block) in data.chunks(bs).enumerate() {
+                        // Cheap refcounted view of the overwritten
+                        // content, kept so a power loss can tear the
+                        // write back (see [`Ssd::power_loss`]).
+                        old.push(self.store.read_block(sqe.slba + i as u64));
                         self.store.write_block(sqe.slba + i as u64, block);
                     }
                 }
+                let at = self.perf.write_completion(now, bytes);
+                if full_data {
+                    if self.recent_writes.len() >= TORN_WRITE_LOG_DEPTH {
+                        self.recent_writes.pop_front();
+                    }
+                    self.recent_writes.push_back(RecentWrite {
+                        slba: sqe.slba,
+                        old,
+                        complete_at: at,
+                    });
+                }
                 CompletedIo {
-                    at: self.perf.write_completion(now, bytes),
+                    at,
                     submitted_at: now,
                     qid,
                     cid: sqe.cid,
@@ -955,5 +1050,134 @@ mod tests {
         assert_eq!(ssd.io_queue_count(), 1);
         ssd.reset();
         assert_eq!(ssd.io_queue_count(), 0);
+    }
+
+    /// Writes `fill` over `nblocks` blocks at `slba` and returns the
+    /// device-internal completion time.
+    fn do_write(
+        mem: &mut HostMemory,
+        ssd: &mut Ssd,
+        host_sq: &mut SubmissionQueue,
+        now: SimTime,
+        slba: Lba,
+        nblocks: u32,
+        fill: u8,
+    ) -> SimTime {
+        let len = nblocks as u64 * 4096;
+        let buf = mem.alloc(len).unwrap();
+        mem.write(buf, &vec![fill; len as usize]);
+        let prp = PrpPair::build(mem, buf, len);
+        let sqe = Sqe::io(
+            IoOpcode::Write,
+            Cid(1),
+            Nsid::new(1).unwrap(),
+            slba,
+            nblocks,
+            prp.prp1,
+            prp.prp2,
+        );
+        let done = submit_io(mem, ssd, host_sq, now, &sqe);
+        assert!(done[0].status.is_success());
+        done[0].at
+    }
+
+    #[test]
+    fn power_loss_tears_only_unacked_writes() {
+        let (mut mem, mut ssd) = rig(DataMode::Full);
+        let sq_base = PciAddr::new(bm_pcie::memory::PAGE_SIZE);
+        let mut host_sq = SubmissionQueue::new(QueueId(1), sq_base, 1024);
+
+        // First write completes (acked) before the second is issued.
+        let acked_at = do_write(
+            &mut mem,
+            &mut ssd,
+            &mut host_sq,
+            SimTime::ZERO,
+            Lba(0),
+            4,
+            0xAA,
+        );
+        let unacked_at = do_write(&mut mem, &mut ssd, &mut host_sq, acked_at, Lba(0), 4, 0xBB);
+        assert!(unacked_at > acked_at);
+
+        // Power fails mid-flight: the 0xBB write is still in the air.
+        let torn = ssd.power_loss(acked_at, 4, SimRng::seed_from(7));
+        assert_eq!(torn, 1, "only the un-acked write is a victim");
+
+        // The tear is sector-aligned and suffix-shaped: the last 512
+        // bytes of the last block always revert to the acked 0xAA data.
+        let last = ssd.store().read_block(Lba(3));
+        assert!(last[4096 - 512..].iter().all(|&b| b == 0xAA));
+        // Everything before the cut keeps the new data; the very first
+        // bytes of the write are either 0xBB (partial tear) or 0xAA
+        // (cut at the start) — never anything else.
+        let first = ssd.store().read_block(Lba(0));
+        assert!(first[0] == 0xBB || first[0] == 0xAA);
+
+        // A later power loss finds an empty log: nothing left to tear.
+        assert_eq!(ssd.power_loss(acked_at, 4, SimRng::seed_from(8)), 0);
+    }
+
+    #[test]
+    fn power_loss_leaves_acked_writes_durable() {
+        let (mut mem, mut ssd) = rig(DataMode::Full);
+        let sq_base = PciAddr::new(bm_pcie::memory::PAGE_SIZE);
+        let mut host_sq = SubmissionQueue::new(QueueId(1), sq_base, 1024);
+        let at = do_write(
+            &mut mem,
+            &mut ssd,
+            &mut host_sq,
+            SimTime::ZERO,
+            Lba(10),
+            2,
+            0xCC,
+        );
+        // Power fails after the completion fired: nothing tears.
+        assert_eq!(ssd.power_loss(at, 8, SimRng::seed_from(9)), 0);
+        assert!(ssd.store().read_block(Lba(10)).iter().all(|&b| b == 0xCC));
+        assert!(ssd.store().read_block(Lba(11)).iter().all(|&b| b == 0xCC));
+    }
+
+    #[test]
+    fn timing_only_mode_has_nothing_to_tear() {
+        let (mut mem, mut ssd) = rig(DataMode::TimingOnly);
+        let sq_base = PciAddr::new(bm_pcie::memory::PAGE_SIZE);
+        let mut host_sq = SubmissionQueue::new(QueueId(1), sq_base, 1024);
+        let sqe = Sqe::io(
+            IoOpcode::Write,
+            Cid(1),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            4,
+            PciAddr::new(0x10_0000),
+            PciAddr::NULL,
+        );
+        let done = submit_io(&mut mem, &mut ssd, &mut host_sq, SimTime::ZERO, &sqe);
+        assert!(done[0].status.is_success());
+        assert_eq!(ssd.power_loss(SimTime::ZERO, 4, SimRng::seed_from(3)), 0);
+    }
+
+    #[test]
+    fn revive_undoes_surprise_removal() {
+        let (mut mem, mut ssd) = rig(DataMode::TimingOnly);
+        ssd.inject_death();
+        assert!(ssd.is_dead());
+        let sq_base = PciAddr::new(bm_pcie::memory::PAGE_SIZE);
+        let mut host_sq = SubmissionQueue::new(QueueId(1), sq_base, 1024);
+        let sqe = Sqe::io(
+            IoOpcode::Read,
+            Cid(1),
+            Nsid::new(1).unwrap(),
+            Lba(0),
+            1,
+            PciAddr::new(0x10_0000),
+            PciAddr::NULL,
+        );
+        let done = submit_io(&mut mem, &mut ssd, &mut host_sq, SimTime::ZERO, &sqe);
+        assert_eq!(done[0].status, Status::InternalError);
+        ssd.revive();
+        assert!(!ssd.is_dead());
+        let done = submit_io(&mut mem, &mut ssd, &mut host_sq, SimTime::ZERO, &sqe);
+        assert!(done[0].status.is_success());
     }
 }

@@ -107,6 +107,12 @@ pub struct TestbedConfig {
     pub command_timeout: Option<SimDuration>,
     /// What the BM-Store engine does after exhausting timeout retries.
     pub engine_fail_policy: FailPolicy,
+    /// Fault-injection sabotage knob for crash-journal tests: the
+    /// engine silently drops the last journaled span on every crash.
+    /// The chaos harness's oracles must catch the resulting lost
+    /// command. Never set outside tests.
+    #[doc(hidden)]
+    pub engine_drop_journal_tail: bool,
     /// Enables the telemetry recorder (per-command spans, tenant
     /// aggregation, trace export). Off by default: a disabled handle is
     /// inert — no events are recorded and no state is touched — so
@@ -139,6 +145,7 @@ impl TestbedConfig {
             fault_plan: FaultPlan::default(),
             command_timeout: None,
             engine_fail_policy: FailPolicy::AbortToHost,
+            engine_drop_journal_tail: false,
             telemetry: false,
             metrics: false,
             metrics_interval: SimDuration::from_us(20),

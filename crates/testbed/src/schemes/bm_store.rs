@@ -34,6 +34,8 @@ pub(crate) fn build(ctx: &mut BuildCtx, in_vm: bool) -> Box<dyn Scheme> {
     if let Some(timeout) = ctx.cfg.command_timeout {
         engine_cfg = engine_cfg.with_command_timeout(timeout, ctx.cfg.engine_fail_policy);
     }
+    engine_cfg.fail_policy = ctx.cfg.engine_fail_policy;
+    engine_cfg.debug_drop_journal_tail = ctx.cfg.engine_drop_journal_tail;
     let mut engine = Box::new(BmsEngine::new(engine_cfg));
     engine.set_telemetry(ctx.telemetry.clone());
     engine.set_metrics(ctx.metrics.clone());
@@ -95,10 +97,15 @@ impl BmStoreScheme {
                 event: FaultTraceEvent::EngineRecovery(event),
             })
             .collect();
+        let engine = &self.engine;
         effects.extend(actions.into_iter().map(|action| match action {
             EngineAction::BackendDoorbell { ssd, tail, at } => Effect::ScheduleAt {
                 at,
-                stage: Stage::EngineBackendDoorbell { ssd, tail },
+                stage: Stage::EngineBackendDoorbell {
+                    ssd,
+                    tail,
+                    epoch: engine.ring_epoch(ssd),
+                },
             },
             EngineAction::HostCompletion {
                 func,
@@ -150,6 +157,16 @@ impl Scheme for BmStoreScheme {
     fn on_stage(&mut self, now: SimTime, stage: Stage, ctx: &mut SchemeCtx) -> Vec<Effect> {
         match stage {
             Stage::EngineDoorbell { func, qid, tail } => {
+                if self.engine.is_crashed() {
+                    // The doorbell write sits in the fabric until the
+                    // card reboots; the recovery action is scheduled at
+                    // the same instant but was inserted first, so the
+                    // engine is back up when this lands again.
+                    return vec![Effect::ScheduleAt {
+                        at: self.engine.restart_at().max(now),
+                        stage: Stage::EngineDoorbell { func, qid, tail },
+                    }];
+                }
                 let actions = self.engine.host_doorbell_write(
                     now,
                     func,
@@ -159,7 +176,12 @@ impl Scheme for BmStoreScheme {
                 );
                 self.actions_to_effects(actions)
             }
-            Stage::EngineBackendDoorbell { ssd, tail } => {
+            Stage::EngineBackendDoorbell { ssd, tail, epoch } => {
+                if epoch != self.engine.ring_epoch(ssd) {
+                    // Minted before this SSD's rings were reset (engine
+                    // crash, hot-plug swap, or surprise re-insert).
+                    return Vec::new();
+                }
                 let mut router = self.engine.dma_router(ctx.host_mem);
                 let completions =
                     ctx.ssds[ssd.0 as usize].ring_sq_doorbell(now, QueueId(1), tail, &mut router);
@@ -176,12 +198,15 @@ impl Scheme for BmStoreScheme {
                     }
                     effects.push(Effect::ScheduleAt {
                         at,
-                        stage: Stage::EngineBackendComplete { ssd, ios },
+                        stage: Stage::EngineBackendComplete { ssd, ios, epoch },
                     });
                 }
                 effects
             }
-            Stage::EngineBackendComplete { ssd, ios } => {
+            Stage::EngineBackendComplete { ssd, ios, epoch } => {
+                if epoch != self.engine.ring_epoch(ssd) {
+                    return Vec::new();
+                }
                 let mut effects = Vec::new();
                 for io in ios {
                     // Device-service span, recorded while the back-end CID

@@ -156,6 +156,11 @@ pub enum Stage {
         ssd: SsdId,
         /// Tail value the engine wrote.
         tail: u32,
+        /// Engine incarnation that minted the write. A crash bumps the
+        /// engine's epoch, so in-flight doorbells from the dead
+        /// instance are dropped when they land (the rings they
+        /// targeted were reset).
+        epoch: u64,
     },
     /// BM-Store: a backend SSD behind the engine's DMA router finished
     /// a batch of commands sharing one completion instant. Consecutive
@@ -169,6 +174,10 @@ pub enum Stage {
         ssd: SsdId,
         /// The finished commands, in completion order.
         ios: Vec<CompletedIo>,
+        /// Engine incarnation whose doorbell produced these
+        /// completions; stale-epoch batches are dropped (the dead
+        /// instance's command table no longer exists).
+        epoch: u64,
     },
     /// BM-Store: the engine posts a host CQE (retried while the host
     /// CQ is full).

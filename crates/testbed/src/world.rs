@@ -291,6 +291,10 @@ impl Testbed {
 /// A boxed harness action scheduled via [`World::schedule_action`].
 type RawAction = Box<dyn FnOnce(&mut World, &mut Scheduler<World>)>;
 
+/// Cold-boot time of the card firmware after a power loss (the
+/// capacitor-backed journal flush plus the boot ROM path).
+const POWER_LOSS_RESTART: SimDuration = SimDuration::from_ms(5);
+
 enum ClientCall {
     Start,
     Completion(Completion),
@@ -352,6 +356,10 @@ pub struct World {
     /// Peak simulator event-queue depth observed by the last
     /// [`World::run`] (zero before any run).
     pub peak_event_queue: usize,
+    /// Events the scheduler clamped forward to "now" because they were
+    /// scheduled in the past (zero before any run; non-zero indicates
+    /// a model emitting stale timestamps).
+    pub clamped_past: u64,
 }
 
 impl World {
@@ -369,6 +377,7 @@ impl World {
             sampler_keys: SamplerKeys::default(),
             events_fired: 0,
             peak_event_queue: 0,
+            clamped_past: 0,
         }
     }
 
@@ -459,13 +468,18 @@ impl World {
                 sim.run_until_idle();
             }
         }
-        let (fired, peak) = {
+        let (fired, peak, clamped) = {
             let sched = sim.scheduler_mut();
-            (sched.events_fired(), sched.peak_pending())
+            (
+                sched.events_fired(),
+                sched.peak_pending(),
+                sched.clamped_past(),
+            )
         };
         let mut world = sim.into_world();
         world.events_fired = fired;
         world.peak_event_queue = peak;
+        world.clamped_past = clamped;
         world
     }
 
@@ -742,6 +756,19 @@ impl World {
             FaultKind::LinkRetrain { until } => {
                 self.faults.link_until = self.faults.link_until.max(until);
             }
+            FaultKind::EngineCrash { restart_after } => {
+                self.crash_engine(s, now + restart_after);
+            }
+            FaultKind::PowerLoss { torn_writes } => {
+                // The whole card loses power: every SSD's un-acked
+                // writes may tear, then the engine cold-restarts.
+                for i in 0..self.tb.ssds.len() {
+                    let rng = self.tb.cfg.fault_plan.rng_for_ssd(i);
+                    self.tb.ssds[i].power_loss(now, torn_writes, rng);
+                }
+                self.crash_engine(s, now + POWER_LOSS_RESTART);
+            }
+            FaultKind::SsdReinsert { ssd } => self.reinsert_ssd(s, ssd),
         }
         self.observe_fault(now, &FaultTraceEvent::Injected(kind));
         // Fault windows annotate the metrics timeline, so utilization
@@ -757,6 +784,11 @@ impl World {
                 FaultKind::SsdDropCommands { .. } => (None, "fault:ssd-drop-commands"),
                 FaultKind::MctpDrop { .. } => (None, "fault:mctp-drop"),
                 FaultKind::LinkRetrain { until } => (Some(until), "fault:link-retrain"),
+                FaultKind::EngineCrash { restart_after } => {
+                    (Some(now + restart_after), "fault:engine-crash")
+                }
+                FaultKind::PowerLoss { .. } => (Some(now + POWER_LOSS_RESTART), "fault:power-loss"),
+                FaultKind::SsdReinsert { .. } => (None, "fault:ssd-reinsert"),
             };
             self.tb.metrics.with(|m| m.annotate(now, end, label));
         }
@@ -1148,6 +1180,108 @@ impl World {
         let (sq, cq) = engine.ssd_rings(SsdId(idx as u8));
         fresh.attach_io_queues(sq, cq);
         tb.ssds[idx] = fresh;
+    }
+
+    /// Crashes the BMS-Engine firmware at the current instant and
+    /// schedules the cold restart. A crash while already down only
+    /// extends the outage — the pending restart re-arms itself.
+    fn crash_engine(&mut self, s: &mut Scheduler<World>, restart_at: SimTime) {
+        let now = s.now();
+        let (was_crashed, effects) = {
+            let tb = &mut self.tb;
+            let Some(scheme) = tb.scheme.as_mut() else {
+                return;
+            };
+            let Some((engine, _)) = scheme.bm_parts() else {
+                return;
+            };
+            let was_crashed = engine.is_crashed();
+            engine.crash(now, restart_at);
+            // Flush the crash recovery-log entry to the observer now,
+            // not when the next I/O happens to pass through the scheme.
+            (was_crashed, scheme.on_engine_actions(Vec::new()))
+        };
+        self.apply_effects(s, effects);
+        if !was_crashed {
+            s.schedule_at(restart_at, |w: &mut World, s| w.restart_engine(s));
+        }
+    }
+
+    /// The firmware comes back up: back-end rings re-attach on both
+    /// sides, the crash journal replays or aborts, and the resulting
+    /// engine actions re-enter the pipeline. Deferred host doorbells
+    /// land at the same instant but were inserted later, so recovery
+    /// runs first.
+    fn restart_engine(&mut self, s: &mut Scheduler<World>) {
+        let now = s.now();
+        let extended = self
+            .tb
+            .engine()
+            .map(|e| e.restart_at())
+            .unwrap_or(SimTime::ZERO);
+        if extended > now {
+            // A second crash during the outage pushed the restart out.
+            s.schedule_at(extended, |w: &mut World, s| w.restart_engine(s));
+            return;
+        }
+        let engine_actions = {
+            let tb = &mut self.tb;
+            let Some(scheme) = tb.scheme.as_mut() else {
+                return;
+            };
+            let Some((engine, _)) = scheme.bm_parts() else {
+                return;
+            };
+            if !engine.is_crashed() {
+                return;
+            }
+            // The crash reset the engine-side ring state; reset the
+            // SSD side to match and attach fresh queue views before
+            // the journal replays anything into them.
+            for (i, ssd) in tb.ssds.iter_mut().enumerate() {
+                ssd.reset();
+                let (sq, cq) = engine.ssd_rings(SsdId(i as u8));
+                ssd.attach_io_queues(sq, cq);
+            }
+            engine.recover(now, &mut tb.host_mem)
+        };
+        let effects = match self.tb.scheme.as_mut() {
+            Some(scheme) => scheme.on_engine_actions(engine_actions),
+            None => Vec::new(),
+        };
+        self.apply_effects(s, effects);
+    }
+
+    /// Surprise re-attach of a dead SSD in the same bay: the device
+    /// (and its stored data) survives, rings restart from zero, and —
+    /// behind the engine — zombie slots are reclaimed and quiesced
+    /// traffic resumes.
+    fn reinsert_ssd(&mut self, s: &mut Scheduler<World>, idx: usize) {
+        let now = s.now();
+        let engine_actions = {
+            let tb = &mut self.tb;
+            if tb.ssds.get(idx).is_none() {
+                return;
+            }
+            tb.ssds[idx].revive();
+            let Some(scheme) = tb.scheme.as_mut() else {
+                return;
+            };
+            let Some((engine, _)) = scheme.bm_parts() else {
+                return;
+            };
+            let sid = SsdId(idx as u8);
+            tb.ssds[idx].reset();
+            let actions = engine.surprise_reinsert(now, sid, &mut tb.host_mem);
+            let (sq, cq) = engine.ssd_rings(sid);
+            tb.ssds[idx].attach_io_queues(sq, cq);
+            actions
+        };
+        let effects = match self.tb.scheme.as_mut() {
+            Some(scheme) => scheme.on_engine_actions(engine_actions),
+            None => Vec::new(),
+        };
+        self.apply_effects(s, effects);
     }
 }
 

@@ -10,6 +10,10 @@
 # profiles the fig08/09/10/12 BM-Store workloads with the metrics
 # registry on and writes BENCH_BMSTORE.json (the regression compare
 # against bench-baseline.json runs in the preflight).
+# Pass --chaos to also run a seeded chaos campaign (bmstore_cli chaos
+# run) under both fail policies: generated crash/power-loss/death
+# fault plans checked against the invariant oracles, with automatic
+# shrinking to a minimal repro artifact on any failure.
 # Pass --lint to also print every bm-lint finding (the ratchet check
 # itself already runs as part of the preflight).
 # Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
@@ -22,10 +26,13 @@ with_faults=0
 with_telemetry=0
 with_metrics=0
 with_lint=0
+with_chaos=0
 figure_args=""
 for arg in "$@"; do
     if [ "$arg" = "--faults" ]; then
         with_faults=1
+    elif [ "$arg" = "--chaos" ]; then
+        with_chaos=1
     elif [ "$arg" = "--telemetry" ]; then
         with_telemetry=1
     elif [ "$arg" = "--metrics" ]; then
@@ -43,6 +50,10 @@ if [ "$with_lint" = "1" ]; then
 fi
 if [ "$with_faults" = "1" ]; then
     cargo run --release -q -p bm-bench --bin faults_smoke -- "$@"
+fi
+if [ "$with_chaos" = "1" ]; then
+    cargo run --release -q -p bm-bench --bin bmstore_cli -- chaos run --seeds 25
+    cargo run --release -q -p bm-bench --bin bmstore_cli -- chaos run --seeds 25 --policy quiesce-replay
 fi
 if [ "$with_telemetry" = "1" ]; then
     cargo run --release -q -p bm-bench --bin telemetry_report -- "$@"

@@ -30,6 +30,15 @@ cargo test --release -q --test resilience
 cargo test --release -q -p bm-testbed --test conservation
 cargo test --release -q -p bm-pcie --test packet_loss
 
+echo "==> chaos smoke (release, fixed seeds)"
+# The crash-recovery contract: a short fixed-seed chaos campaign per
+# fail policy (engine crashes, power losses with torn writes, SSD
+# death/re-insert, error bursts) must pass every invariant oracle —
+# exactly-once completion, back-end conservation, acked-write
+# read-back, nothing stuck at drain, bounded recovery time.
+cargo run --release -q -p bm-bench --bin bmstore_cli -- chaos run --seeds 10 --base-seed 1
+cargo run --release -q -p bm-bench --bin bmstore_cli -- chaos run --seeds 10 --base-seed 1 --policy quiesce-replay
+
 echo "==> telemetry smoke (release)"
 # The observability contract: spans exported as a Chrome trace parse,
 # nest inside their command roots, and attribute an injected latency

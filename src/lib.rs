@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub use bm_baselines as baselines;
+pub use bm_chaos as chaos;
 pub use bm_host as host;
 pub use bm_nvme as nvme;
 pub use bm_pcie as pcie;
