@@ -24,10 +24,24 @@
 //!
 //! `chaos run` sweeps N seeds of generated fault plans through the
 //! invariant oracles; on failure it delta-debugs the first failing plan
-//! to a minimal repro and writes/prints the repro artifact. `chaos
-//! replay` re-executes a saved artifact bit-identically and reports the
+//! to a minimal repro and writes/prints the repro artifact (with the
+//! observed replay's incident report attached). `chaos replay`
+//! re-executes a saved artifact bit-identically and reports the
 //! violations it (still) trips. Exit status is non-zero when any oracle
 //! fired.
+//!
+//! The `slo` subcommand runs a canned two-tenant SSD-stall scenario
+//! with the per-tenant SLO engine armed and prints the alert log plus
+//! the deterministic incident report:
+//!
+//! ```text
+//! bmstore-cli slo [--smoke] [--seed N] [--ios N] [--top K] [--out FILE]
+//! ```
+//!
+//! `--smoke` is the CI gate: it runs the scenario twice and exits
+//! non-zero unless exactly one latency alert fires, both runs render
+//! byte-identical incident reports, the report parses, and tenant 0's
+//! blame profile names the stalled stage.
 //!
 //! Example: the paper's rand-r-128 on BM-Store with a 50 K IOPS cap:
 //!
@@ -36,7 +50,9 @@
 //!     --scheme bm-store --rw randread --iodepth 128 --qos-iops 50000
 //! ```
 
+use bm_sim::faults::{FaultKind, FaultPlan};
 use bm_sim::metrics::{prometheus, render_bottleneck};
+use bm_sim::slo::{parse_incident, AlertState, SloConfig, SloSpec};
 use bm_sim::{SimDuration, SimTime};
 use bm_testbed::{SchemeKind, TestbedConfig};
 use bm_workloads::fio::{aggregate, run_fio, FioSpec, RwMode};
@@ -215,6 +231,11 @@ fn chaos_run(mut it: std::env::Args) -> ! {
     let shrunk = bm_chaos::shrink_failing_case(&cfg, &first.plan);
     let artifact = bm_chaos::ReproArtifact::new(&cfg, shrunk);
     println!("minimal repro: {} events", artifact.plan.events().len());
+    // Replay the minimal plan once more with observability on and bake
+    // the incident report (alerts + fault windows + blame + tripped
+    // oracles) into the artifact.
+    let (_, incident) = bm_chaos::run_case_observed(&cfg, &artifact.plan);
+    let artifact = artifact.with_incident(&incident);
     match out {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, artifact.to_text()) {
@@ -264,12 +285,221 @@ fn chaos_main(mut it: std::env::Args) -> ! {
     }
 }
 
+/// Closed-loop tenant for the `slo` scenario: keeps `depth` reads in
+/// flight until `total` have completed.
+struct SloLoader {
+    dev: bm_testbed::DeviceId,
+    total: u64,
+    issued: u64,
+    buf: bm_testbed::BufferId,
+}
+
+impl SloLoader {
+    fn next(&mut self) -> bm_testbed::IoRequest {
+        self.issued += 1;
+        bm_testbed::IoRequest {
+            dev: self.dev,
+            op: bm_testbed::IoOp::Read,
+            lba: bm_nvme::types::Lba((self.issued * 7919) % 1_000_000),
+            blocks: 1,
+            buf: self.buf,
+            tag: self.issued,
+        }
+    }
+}
+
+impl bm_testbed::Client for SloLoader {
+    fn start(&mut self, _now: SimTime) -> bm_testbed::ClientOutput {
+        let n = 8u64.min(self.total) as usize;
+        bm_testbed::ClientOutput::submit((0..n).map(|_| self.next()).collect())
+    }
+
+    fn on_completion(
+        &mut self,
+        _now: SimTime,
+        _c: bm_testbed::Completion,
+    ) -> bm_testbed::ClientOutput {
+        if self.issued < self.total {
+            bm_testbed::ClientOutput::submit(vec![self.next()])
+        } else {
+            bm_testbed::ClientOutput::idle()
+        }
+    }
+}
+
+/// Where the canned `slo` scenario stalls SSD 0 (tenant 0's back-end).
+const SLO_STALL_FROM: SimDuration = SimDuration::from_us(200);
+const SLO_STALL_UNTIL: SimDuration = SimDuration::from_us(800);
+
+/// Runs the canned SSD-stall scenario: two closed-loop tenants, one
+/// latency SLO on tenant 0, a 600 µs stall on tenant 0's SSD. Returns
+/// the drained world with telemetry, metrics, and alert log populated.
+fn slo_scenario(seed: u64, per_tenant: u64) -> bm_testbed::World {
+    let mut cfg = TestbedConfig::bm_store_bare_metal(2)
+        .with_seed(seed)
+        .with_telemetry()
+        .with_slo(
+            SloConfig::new().with_spec(
+                SloSpec::latency(0, SimDuration::from_us(200))
+                    .with_windows(SimDuration::from_us(100), SimDuration::from_us(400)),
+            ),
+        );
+    cfg.fault_plan = FaultPlan::new(seed ^ 0x510).with(
+        SimTime::ZERO + SLO_STALL_FROM,
+        FaultKind::SsdStall {
+            ssd: 0,
+            until: SimTime::ZERO + SLO_STALL_UNTIL,
+        },
+    );
+    let mut tb = bm_testbed::Testbed::new(cfg);
+    let buf0 = tb.register_buffer(4096);
+    let buf1 = tb.register_buffer(4096);
+    let mut world = bm_testbed::World::new(tb);
+    for (i, buf) in [buf0, buf1].into_iter().enumerate() {
+        world.add_client(Box::new(SloLoader {
+            dev: bm_testbed::DeviceId(i),
+            total: per_tenant,
+            issued: 0,
+            buf,
+        }));
+    }
+    world.run(None)
+}
+
+fn slo_usage() -> ! {
+    eprintln!("usage: bmstore-cli slo [--smoke] [--seed N] [--ios N] [--top K] [--out FILE]");
+    exit(2)
+}
+
+/// `slo --smoke`: the CI gate. Runs the scenario twice and checks the
+/// alert/incident invariants the PR promises; prints what failed.
+fn slo_smoke(seed: u64, per_tenant: u64) -> ! {
+    let world = slo_scenario(seed, per_tenant);
+    let incident = world.incident_report(&[], 3);
+    let mut failures = Vec::new();
+
+    let fires: Vec<_> = world
+        .slo_alerts()
+        .iter()
+        .filter(|a| a.state == AlertState::Fire)
+        .collect();
+    if fires.len() != 1 {
+        failures.push(format!(
+            "expected exactly 1 fired alert, got {}: {:?}",
+            fires.len(),
+            world
+                .slo_alerts()
+                .iter()
+                .map(|a| a.render())
+                .collect::<Vec<_>>()
+        ));
+    }
+    match parse_incident(&incident) {
+        Ok(s) => {
+            if s.alerts != world.slo_alerts().len() as u64 {
+                failures.push(format!(
+                    "incident claims {} alerts, world logged {}",
+                    s.alerts,
+                    world.slo_alerts().len()
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("incident report does not parse: {e}")),
+    }
+    match world.critical_path() {
+        Some(analysis) => {
+            let profile = analysis.tenant_profile(0);
+            match profile.dominant() {
+                Some(("backend", _)) => {}
+                other => failures.push(format!(
+                    "tenant 0 blame should be dominated by the stalled backend, got {other:?}"
+                )),
+            }
+            if profile.fault_overlap == SimDuration::ZERO {
+                failures.push("tenant 0 saw no fault-window overlap".into());
+            }
+        }
+        None => failures.push("no critical-path analysis (telemetry off?)".into()),
+    }
+
+    // Determinism: a second run must render the identical incident.
+    let again = slo_scenario(seed, per_tenant);
+    if again.incident_report(&[], 3) != incident {
+        failures.push("incident report differs between identical runs".into());
+    }
+    let alerts: Vec<String> = world.slo_alerts().iter().map(|a| a.render()).collect();
+    let alerts_again: Vec<String> = again.slo_alerts().iter().map(|a| a.render()).collect();
+    if alerts != alerts_again {
+        failures.push("alert sequence differs between identical runs".into());
+    }
+
+    if failures.is_empty() {
+        println!(
+            "slo smoke OK: {} alert(s), incident parses, blame names the stalled stage",
+            world.slo_alerts().len()
+        );
+        exit(0)
+    }
+    for f in &failures {
+        eprintln!("slo smoke FAILED: {f}");
+    }
+    print!("{incident}");
+    exit(1)
+}
+
+fn slo_main(mut it: std::env::Args) -> ! {
+    let mut smoke = false;
+    let mut seed = 0x510Eu64;
+    let mut per_tenant = 600u64;
+    let mut top = 5usize;
+    let mut out: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| slo_usage());
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => seed = value().parse().unwrap_or_else(|_| slo_usage()),
+            "--ios" => per_tenant = value().parse().unwrap_or_else(|_| slo_usage()),
+            "--top" => top = value().parse().unwrap_or_else(|_| slo_usage()),
+            "--out" => out = Some(value()),
+            _ => slo_usage(),
+        }
+    }
+    if smoke {
+        slo_smoke(seed, per_tenant);
+    }
+    println!(
+        "slo scenario: seed {seed}, {per_tenant} I/Os per tenant, \
+         SSD 0 stalled {}..{} ns",
+        SLO_STALL_FROM.as_nanos(),
+        SLO_STALL_UNTIL.as_nanos()
+    );
+    let world = slo_scenario(seed, per_tenant);
+    println!("alerts ({}):", world.slo_alerts().len());
+    for a in world.slo_alerts() {
+        println!("  {}", a.render());
+    }
+    let incident = world.incident_report(&[], top);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &incident) {
+                eprintln!("cannot write {path}: {e}");
+                exit(2);
+            }
+            println!("incident report written to {path}");
+        }
+        None => print!("{incident}"),
+    }
+    exit(0)
+}
+
 fn main() {
     {
         let mut it = std::env::args();
         it.next();
-        if it.next().as_deref() == Some("chaos") {
-            chaos_main(it);
+        match it.next().as_deref() {
+            Some("chaos") => chaos_main(it),
+            Some("slo") => slo_main(it),
+            _ => {}
         }
     }
     let args = parse_args();

@@ -4,6 +4,7 @@
 use crate::tenant::{pattern, ChaosTenant, TenantShared, VerifyOutcome};
 use crate::ChaosConfig;
 use bm_sim::faults::{FaultKind, FaultPlan};
+use bm_sim::slo::{SloConfig, SloSpec};
 use bm_sim::{SimDuration, SimTime};
 use bm_ssd::{DataMode, SsdId};
 use bm_testbed::{DeviceId, Testbed, TestbedConfig, World};
@@ -190,10 +191,42 @@ impl CaseReport {
     }
 }
 
+/// The SLO policy observed replays attach: a generous per-tenant
+/// latency objective plus a stall watchdog, both tuned so a healthy
+/// drain stays silent and a real fault shows up on the timeline.
+fn observed_slo(tenants: usize) -> SloConfig {
+    let mut slo = SloConfig::new().with_stall_after(SimDuration::from_ms(10));
+    for t in 0..tenants {
+        slo = slo.with_spec(
+            SloSpec::latency(t as u16, SimDuration::from_ms(1))
+                .with_windows(SimDuration::from_ms(1), SimDuration::from_ms(5)),
+        );
+    }
+    slo
+}
+
 /// Runs `plan` through the BM-Store testbed under `cfg` and applies the
 /// oracle battery. The plan's embedded seed doubles as the testbed
 /// seed, so one artifact reproduces the whole run.
 pub fn run_case(cfg: &ChaosConfig, plan: &FaultPlan) -> CaseReport {
+    run_case_inner(cfg, plan, false).0
+}
+
+/// [`run_case`] with telemetry, metrics, and the SLO engine enabled,
+/// returning the deterministic incident report alongside the oracle
+/// verdict. Observability is inert with respect to simulation state, so
+/// the `CaseReport` is identical to the unobserved run's; oracle
+/// violations are stamped onto the incident timeline at drain time.
+pub fn run_case_observed(cfg: &ChaosConfig, plan: &FaultPlan) -> (CaseReport, String) {
+    let (report, incident) = run_case_inner(cfg, plan, true);
+    (report, incident.unwrap_or_default())
+}
+
+fn run_case_inner(
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+    observed: bool,
+) -> (CaseReport, Option<String>) {
     let churn_end = SimTime::ZERO + cfg.churn;
     let verify_at = churn_end + DRAIN_MARGIN;
     let mut tcfg = TestbedConfig::bm_store_bare_metal(cfg.tenants)
@@ -206,6 +239,9 @@ pub fn run_case(cfg: &ChaosConfig, plan: &FaultPlan) -> CaseReport {
         tcfg.engine_fail_policy = cfg.fail_policy;
     }
     tcfg.engine_drop_journal_tail = cfg.sabotage_drop_journal_tail;
+    if observed {
+        tcfg = tcfg.with_telemetry().with_slo(observed_slo(cfg.tenants));
+    }
 
     let mut tb = Testbed::new(tcfg);
     let mut shared_all: Vec<Rc<RefCell<TenantShared>>> = Vec::new();
@@ -345,5 +381,14 @@ pub fn run_case(cfg: &ChaosConfig, plan: &FaultPlan) -> CaseReport {
         }
     }
 
-    report
+    let incident = observed.then(|| {
+        let extras: Vec<(SimTime, String)> = report
+            .violations
+            .iter()
+            .map(|v| (world.run_end(), format!("violation: {v}")))
+            .collect();
+        world.incident_report(&extras, 5)
+    });
+
+    (report, incident)
 }

@@ -31,7 +31,7 @@ mod generate;
 mod shrink;
 mod tenant;
 
-pub use case::{run_case, CaseReport, Violation};
+pub use case::{run_case, run_case_observed, CaseReport, Violation};
 pub use generate::generate_plan;
 pub use shrink::shrink_plan;
 
@@ -180,6 +180,11 @@ pub struct ReproArtifact {
     /// The (typically shrunk) fault plan; its embedded seed doubles as
     /// the testbed seed.
     pub plan: FaultPlan,
+    /// Optional incident report from an observed replay (alerts +
+    /// fault windows + blame profiles + the tripped oracles in one
+    /// timeline). Carried verbatim in the text form; absent in
+    /// artifacts written before it existed.
+    pub incident: Option<String>,
 }
 
 impl ReproArtifact {
@@ -189,7 +194,15 @@ impl ReproArtifact {
             fail_policy: cfg.fail_policy,
             sabotage: cfg.sabotage_drop_journal_tail,
             plan,
+            incident: None,
         }
+    }
+
+    /// Attaches an incident report (trailing newlines normalized so
+    /// the text round-trip stays byte-exact).
+    pub fn with_incident(mut self, incident: &str) -> Self {
+        self.incident = Some(incident.trim_end_matches('\n').to_string());
+        self
     }
 
     /// The [`ChaosConfig`] to replay under: defaults with this
@@ -207,6 +220,13 @@ impl ReproArtifact {
         run_case(&self.config(), &self.plan)
     }
 
+    /// Replays the artifact with observability on, returning the fresh
+    /// incident report alongside the verdict. Deterministic: replaying
+    /// the same artifact always renders the same incident text.
+    pub fn replay_observed(&self) -> (CaseReport, String) {
+        run_case_observed(&self.config(), &self.plan)
+    }
+
     /// Serializes to the dependency-free text format:
     ///
     /// ```text
@@ -222,11 +242,17 @@ impl ReproArtifact {
             FailPolicy::AbortToHost => "abort-to-host",
             FailPolicy::QuiesceReplay => "quiesce-replay",
         };
-        format!(
+        let mut out = format!(
             "bmstore-chaos-repro v1\npolicy {policy}\nsabotage {}\n{}",
             u8::from(self.sabotage),
             self.plan.to_text()
-        )
+        );
+        if let Some(incident) = &self.incident {
+            out.push_str("incident-begin\n");
+            out.push_str(incident);
+            out.push_str("\nincident-end\n");
+        }
+        out
     }
 
     /// Parses [`Self::to_text`] output. Returns a description of the
@@ -248,11 +274,23 @@ impl ReproArtifact {
             other => return Err(format!("bad sabotage line {other:?}")),
         };
         let rest: Vec<&str> = lines.collect();
-        let plan = FaultPlan::from_text(&rest.join("\n"))?;
+        let (plan_lines, incident) = match rest.iter().position(|l| *l == "incident-begin") {
+            Some(pos) => {
+                let tail = &rest[pos + 1..];
+                let end = tail
+                    .iter()
+                    .rposition(|l| *l == "incident-end")
+                    .ok_or("incident-begin without incident-end")?;
+                (&rest[..pos], Some(tail[..end].join("\n")))
+            }
+            None => (&rest[..], None),
+        };
+        let plan = FaultPlan::from_text(&plan_lines.join("\n"))?;
         Ok(ReproArtifact {
             fail_policy,
             sabotage,
             plan,
+            incident,
         })
     }
 }
@@ -275,11 +313,39 @@ mod tests {
             fail_policy: FailPolicy::QuiesceReplay,
             sabotage: true,
             plan,
+            incident: None,
         };
         let text = art.to_text();
         let back = ReproArtifact::from_text(&text).expect("parses");
         assert_eq!(back, art);
         assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn repro_artifact_round_trips_with_incident() {
+        let plan = FaultPlan::new(7).with(
+            SimTime::ZERO + SimDuration::from_ms(1),
+            FaultKind::SsdStall {
+                ssd: 1,
+                until: SimTime::ZERO + SimDuration::from_ms(4),
+            },
+        );
+        let incident = "bmstore-incident v1\nsummary alerts=1 faults=1 recoveries=0 \
+                        replayed=0 aborted=0\ntimeline (2 events):\n  t=1ns x\n  \
+                        t=2ns alert fire latency tenant=0 severity=critical burn=4.00\nend";
+        let art = ReproArtifact::new(&ChaosConfig::default(), plan).with_incident(incident);
+        let text = art.to_text();
+        let back = ReproArtifact::from_text(&text).expect("parses");
+        assert_eq!(back, art);
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.incident.as_deref(), Some(incident));
+        // Trailing newlines normalize to the same artifact.
+        let renewlined = format!("{incident}\n\n");
+        assert_eq!(
+            ReproArtifact::new(&ChaosConfig::default(), art.plan.clone())
+                .with_incident(&renewlined),
+            back
+        );
     }
 
     #[test]

@@ -1288,6 +1288,14 @@ impl BmsEngine {
         self.resilience.recovery_time += now.saturating_since(self.crashed_at);
         self.recovery_log
             .push(RecoveryEvent::EngineRecovered { replayed, aborted });
+        // The outage window on the metrics timeline: incident reports
+        // and blame attribution read these back as crash-recovery time.
+        if self.metrics.is_enabled() {
+            let label = format!("recovery:replayed={replayed} aborted={aborted}");
+            let crashed_at = self.crashed_at;
+            self.metrics
+                .with(|m| m.annotate(crashed_at, Some(now), label));
+        }
         coalesce_actions(&mut actions);
         actions
     }

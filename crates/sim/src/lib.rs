@@ -21,7 +21,13 @@
 //!   aggregation and Chrome-trace/JSONL exporters,
 //! * [`metrics`] — a deterministic counter/gauge/time-series registry
 //!   sampled by a periodic simulator event, with a Little's-law
-//!   bottleneck report and Prometheus/CSV exporters.
+//!   bottleneck report and Prometheus/CSV exporters,
+//! * [`telemetry::critical_path`] — per-command blame attribution
+//!   (queue-wait vs service vs retry vs crash-recovery, per stage)
+//!   aggregated into per-`(tenant, opcode)` blame profiles,
+//! * [`slo`] — a per-tenant SLO engine with multi-window burn-rate
+//!   alerting, a progress-stall watchdog, and deterministic incident
+//!   reports correlating alerts, fault windows and blame profiles.
 //!
 //! # Examples
 //!
@@ -47,6 +53,7 @@ pub mod faults;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
+pub mod slo;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -55,5 +62,6 @@ pub use engine::{SchedulePastError, Scheduler, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::MetricsHandle;
 pub use rng::SimRng;
+pub use slo::{Alert, SloConfig, SloEngine, SloSpec};
 pub use telemetry::{CmdId, TelemetryHandle};
 pub use time::{SimDuration, SimTime};

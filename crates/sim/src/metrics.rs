@@ -121,6 +121,24 @@ pub mod names {
     pub const ENGINE_TIMEOUTS: &str = "bm_engine_timeouts_total";
     /// Engine command retries issued (counter).
     pub const ENGINE_RETRIES: &str = "bm_engine_retries_total";
+    /// Simulator events executed (counter; sampled per tick).
+    pub const SCHED_EVENTS_FIRED: &str = "bm_sched_events_fired_total";
+    /// Events pending in the scheduler (gauge; peak twin = high-water).
+    pub const SCHED_PENDING: &str = "bm_sched_pending_events";
+    /// Exact scheduler high-water mark, set once at run end (gauge).
+    pub const SCHED_PEAK_PENDING: &str = "bm_sched_peak_pending_events";
+    /// Past-due schedules clamped to now (counter).
+    pub const SCHED_CLAMPED_PAST: &str = "bm_sched_clamped_past_total";
+    /// Scheduler arena slots allocated (gauge; growth = leak signal).
+    pub const SCHED_ARENA_SLOTS: &str = "bm_sched_arena_slots";
+    /// Engine crash/recovery cycles completed (counter).
+    pub const ENGINE_RECOVERIES: &str = "bm_engine_recoveries_total";
+    /// Journaled commands replayed across recoveries (counter).
+    pub const ENGINE_RECOVERY_REPLAYED: &str = "bm_engine_recovery_replayed_total";
+    /// Journaled commands aborted to host on recovery (counter).
+    pub const ENGINE_RECOVERY_ABORTED: &str = "bm_engine_recovery_aborted_total";
+    /// Nanoseconds spent down across recoveries (counter).
+    pub const ENGINE_RECOVERY_TIME_NS: &str = "bm_engine_recovery_time_ns_total";
 }
 
 /// Engine pipeline stage labels, in paper order (Fig. 3), plus the

@@ -20,6 +20,8 @@
 //! wall-clock time. With the [`TelemetryHandle`] disabled every call is
 //! a no-op, so enabling telemetry cannot perturb event ordering.
 
+pub mod critical_path;
+
 use crate::stats::LatencyHistogram;
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;

@@ -2,6 +2,7 @@
 
 use bm_host::KernelProfile;
 use bm_sim::faults::FaultPlan;
+use bm_sim::slo::SloConfig;
 use bm_sim::SimDuration;
 use bm_ssd::{DataMode, PerfProfile, SsdId};
 use bmstore_core::engine::qos::QosLimit;
@@ -125,6 +126,10 @@ pub struct TestbedConfig {
     /// Sampling period of the metrics time-series event (ignored when
     /// `metrics` is off).
     pub metrics_interval: SimDuration,
+    /// Per-tenant SLO policy, evaluated on every sampler tick. `None`
+    /// is inert; setting it implies `metrics` (alerts are recorded as
+    /// metric annotations).
+    pub slo: Option<SloConfig>,
 }
 
 impl TestbedConfig {
@@ -149,6 +154,7 @@ impl TestbedConfig {
             telemetry: false,
             metrics: false,
             metrics_interval: SimDuration::from_us(20),
+            slo: None,
         }
     }
 
@@ -228,6 +234,15 @@ impl TestbedConfig {
     pub fn with_metrics_interval(mut self, interval: SimDuration) -> Self {
         self.metrics = true;
         self.metrics_interval = interval;
+        self
+    }
+
+    /// Installs a per-tenant SLO policy (implies [`Self::with_metrics`]:
+    /// the burn-rate evaluator rides the periodic sampler and records
+    /// alerts as metric annotations).
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.metrics = true;
+        self.slo = Some(slo);
         self
     }
 }

@@ -38,6 +38,8 @@ use bm_pcie::{HostMemory, PciAddr};
 use bm_sim::faults::FaultKind;
 use bm_sim::metrics::{names as metric_names, MetricKey, MetricsHandle};
 use bm_sim::resource::FifoServer;
+use bm_sim::slo::{self, Alert, AlertKind, AlertState, SloEngine};
+use bm_sim::telemetry::critical_path::{self, BlameWindows, CriticalPathAnalysis};
 use bm_sim::telemetry::{TelemetryEventKind, TelemetryHandle, TelemetryStage};
 use bm_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
 use bm_ssd::firmware::CommitAction;
@@ -324,6 +326,15 @@ struct SamplerKeys {
     port: Vec<SamplerPortKeys>,
     /// The controller's reassembly gauge key.
     mctp_partials: Option<MetricKey>,
+    /// Scheduler-stat keys (events fired, pending, clamped, arena).
+    sched: Option<SamplerSchedKeys>,
+}
+
+struct SamplerSchedKeys {
+    events_fired: MetricKey,
+    pending: MetricKey,
+    clamped_past: MetricKey,
+    arena_slots: MetricKey,
 }
 
 struct SamplerPortKeys {
@@ -360,11 +371,20 @@ pub struct World {
     /// scheduled in the past (zero before any run; non-zero indicates
     /// a model emitting stale timestamps).
     pub clamped_past: u64,
+    /// Scheduler arena slots allocated by the last [`World::run`]
+    /// (zero before any run; unbounded growth indicates an event leak).
+    pub arena_slots: usize,
+    /// The SLO evaluator, present when the config carries a policy.
+    slo: Option<SloEngine>,
+    /// When the last run's event queue drained (incident reports close
+    /// open fault windows at this instant).
+    run_end: SimTime,
 }
 
 impl World {
     /// Wraps a testbed with no clients yet.
     pub fn new(tb: Testbed) -> Self {
+        let slo = tb.cfg.slo.clone().map(SloEngine::new);
         World {
             tb,
             clients: Vec::new(),
@@ -378,6 +398,9 @@ impl World {
             events_fired: 0,
             peak_event_queue: 0,
             clamped_past: 0,
+            arena_slots: 0,
+            slo,
+            run_end: SimTime::ZERO,
         }
     }
 
@@ -468,19 +491,63 @@ impl World {
                 sim.run_until_idle();
             }
         }
-        let (fired, peak, clamped) = {
+        let (fired, peak, clamped, arena) = {
             let sched = sim.scheduler_mut();
             (
                 sched.events_fired(),
                 sched.peak_pending(),
                 sched.clamped_past(),
+                sched.arena_slots(),
             )
         };
+        let end = sim.now();
         let mut world = sim.into_world();
         world.events_fired = fired;
         world.peak_event_queue = peak;
         world.clamped_past = clamped;
+        world.arena_slots = arena;
+        world.run_end = end;
+        world.export_run_stats(end);
         world
+    }
+
+    /// End-of-run export: the scheduler's lifetime stats and the
+    /// engine's resilience counters land in the registry as scrapeable
+    /// counters/gauges (the per-tick sampler only sees snapshots; these
+    /// are the exact totals).
+    fn export_run_stats(&mut self, now: SimTime) {
+        if !self.tb.metrics.is_enabled() {
+            return;
+        }
+        let fired = self.events_fired;
+        let peak = self.peak_event_queue as f64;
+        let clamped = self.clamped_past;
+        let arena = self.arena_slots as f64;
+        let resilience = self.tb.engine().map(|e| e.resilience_stats());
+        self.tb.metrics.with(|m| {
+            m.counter_add(MetricKey::new(metric_names::SCHED_EVENTS_FIRED), fired);
+            m.counter_add(MetricKey::new(metric_names::SCHED_CLAMPED_PAST), clamped);
+            m.gauge_set(now, MetricKey::new(metric_names::SCHED_PEAK_PENDING), peak);
+            m.gauge_set(now, MetricKey::new(metric_names::SCHED_ARENA_SLOTS), arena);
+            if let Some(r) = resilience {
+                m.counter_add(
+                    MetricKey::new(metric_names::ENGINE_RECOVERIES),
+                    r.recoveries,
+                );
+                m.counter_add(
+                    MetricKey::new(metric_names::ENGINE_RECOVERY_REPLAYED),
+                    r.replayed,
+                );
+                m.counter_add(
+                    MetricKey::new(metric_names::ENGINE_RECOVERY_ABORTED),
+                    r.aborted_on_recovery,
+                );
+                m.counter_add(
+                    MetricKey::new(metric_names::ENGINE_RECOVERY_TIME_NS),
+                    r.recovery_time.as_nanos(),
+                );
+            }
+        });
     }
 
     /// Borrow a client back after a run (e.g. to read its statistics).
@@ -490,6 +557,64 @@ impl World {
     /// Panics if the id is invalid.
     pub fn client(&self, id: ClientId) -> &dyn Client {
         self.clients[id.0].as_deref().expect("client present")
+    }
+
+    /// The simulation time at which the last run drained (ZERO before
+    /// any run).
+    pub fn run_end(&self) -> SimTime {
+        self.run_end
+    }
+
+    /// The SLO alert log, in emission order (empty with no policy).
+    pub fn slo_alerts(&self) -> &[Alert] {
+        self.slo.as_ref().map(|e| e.alerts()).unwrap_or(&[])
+    }
+
+    /// Critical-path blame analysis of the last run's telemetry,
+    /// correlated against the fault/recovery windows on the metrics
+    /// timeline. `None` when telemetry is disabled.
+    pub fn critical_path(&self) -> Option<CriticalPathAnalysis> {
+        let annotations = self
+            .tb
+            .metrics
+            .read(|m| m.annotations().to_vec())
+            .unwrap_or_default();
+        let end = self.run_end;
+        self.tb.telemetry.read(|rec| {
+            let windows = BlameWindows::from_annotations(&annotations, end);
+            critical_path::analyze(rec, &windows)
+        })
+    }
+
+    /// Renders the deterministic incident report for the last run:
+    /// alerts + fault/recovery windows + `extra_events` (e.g. chaos
+    /// oracle violations) in one ordered timeline, followed by blame
+    /// profiles and the `top_k` slowest critical paths.
+    pub fn incident_report(&self, extra_events: &[(SimTime, String)], top_k: usize) -> String {
+        let annotations = self
+            .tb
+            .metrics
+            .read(|m| m.annotations().to_vec())
+            .unwrap_or_default();
+        let analysis = self.critical_path();
+        let (recoveries, replayed, aborted_on_recovery) = self
+            .tb
+            .engine()
+            .map(|e| {
+                let r = e.resilience_stats();
+                (r.recoveries, r.replayed, r.aborted_on_recovery)
+            })
+            .unwrap_or((0, 0, 0));
+        slo::render_incident(&slo::IncidentInput {
+            alerts: self.slo_alerts(),
+            annotations: &annotations,
+            blame: analysis.as_ref(),
+            extra_events,
+            recoveries,
+            replayed,
+            aborted_on_recovery,
+            top_k,
+        })
     }
 
     fn call_client(&mut self, s: &mut Scheduler<World>, id: ClientId, call: ClientCall) {
@@ -813,13 +938,77 @@ impl World {
     /// forever.
     fn sample_metrics(&mut self, s: &mut Scheduler<World>, interval: SimDuration) {
         let now = s.now();
+        self.record_scheduler_sample(now, s);
         self.record_metric_sample(now);
+        self.evaluate_slo(now);
         if s.pending() == 0 {
             return;
         }
         s.schedule_at(now + interval, move |w: &mut World, s| {
             w.sample_metrics(s, interval);
         });
+    }
+
+    /// Per-tick scheduler stats: occupancy gauges (snapshotted into
+    /// series by the gauge pass) plus cumulative tallies sampled as
+    /// series, so event-rate and clamp excursions line up with the rest
+    /// of the timeline. Runs before `record_metric_sample` so this
+    /// tick's `snapshot_gauges` captures the fresh values.
+    fn record_scheduler_sample(&mut self, now: SimTime, s: &Scheduler<World>) {
+        if !self.tb.metrics.is_enabled() {
+            return;
+        }
+        let keys = self
+            .sampler_keys
+            .sched
+            .get_or_insert_with(|| SamplerSchedKeys {
+                events_fired: MetricKey::new(metric_names::SCHED_EVENTS_FIRED),
+                pending: MetricKey::new(metric_names::SCHED_PENDING),
+                clamped_past: MetricKey::new(metric_names::SCHED_CLAMPED_PAST),
+                arena_slots: MetricKey::new(metric_names::SCHED_ARENA_SLOTS),
+            });
+        let fired = s.events_fired() as f64;
+        let pending = s.pending() as f64;
+        let clamped = s.clamped_past() as f64;
+        let arena = s.arena_slots() as f64;
+        self.tb.metrics.with(|m| {
+            m.sample_ref(now, &keys.events_fired, fired);
+            m.gauge_set_ref(now, &keys.pending, pending);
+            m.sample_ref(now, &keys.clamped_past, clamped);
+            m.gauge_set_ref(now, &keys.arena_slots, arena);
+        });
+    }
+
+    /// One SLO evaluation tick: burn rates + the stall watchdog. Each
+    /// alert edge lands on the metrics timeline as an annotation (full
+    /// dynamic label) and in the telemetry stream as a static mark.
+    fn evaluate_slo(&mut self, now: SimTime) {
+        let Some(engine) = self.slo.as_mut() else {
+            return;
+        };
+        let outstanding: u64 = self
+            .tb
+            .devices
+            .iter()
+            .map(|d| (d.pending.len() + d.waiting.len()) as u64)
+            .sum();
+        let edges = engine.evaluate(now, outstanding);
+        for alert in &edges {
+            let label = alert.annotation_label();
+            self.tb.metrics.with(|m| m.annotate(now, None, label));
+            let mark = match (alert.state, alert.kind) {
+                (AlertState::Fire, AlertKind::Stall) => "slo-stall",
+                (AlertState::Fire, _) => "slo-alert-fire",
+                (AlertState::Clear, _) => "slo-alert-clear",
+            };
+            self.tb.telemetry.event(
+                now,
+                bm_sim::telemetry::CmdId::NONE,
+                alert.tenant.unwrap_or(0),
+                0,
+                TelemetryEventKind::Mark { label: mark },
+            );
+        }
     }
 
     /// One sampling tick: read live occupancy state into gauges and
@@ -1002,6 +1191,13 @@ impl World {
         self.tb
             .telemetry
             .end_command(now, dev_id.0 as u16, cid.0, status.is_success());
+        if let Some(slo) = self.slo.as_mut() {
+            slo.observe_completion(
+                dev_id.0 as u16,
+                now.saturating_since(pending.submitted),
+                status.is_success(),
+            );
+        }
         let completed = if self.tb.cfg.apply_plug_factor {
             let real = now.saturating_since(pending.submitted);
             pending.submitted

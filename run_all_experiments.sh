@@ -14,6 +14,10 @@
 # run) under both fail policies: generated crash/power-loss/death
 # fault plans checked against the invariant oracles, with automatic
 # shrinking to a minimal repro artifact on any failure.
+# Pass --slo to also run the SLO scenario (bmstore_cli slo): the canned
+# SSD-stall run with the per-tenant burn-rate SLO engine armed, printing
+# the alert log and the deterministic incident report with critical-path
+# blame attribution.
 # Pass --lint to also print every bm-lint finding (the ratchet check
 # itself already runs as part of the preflight).
 # Set SKIP_CHECKS=1 to bypass the preflight (e.g. when iterating on a
@@ -27,12 +31,15 @@ with_telemetry=0
 with_metrics=0
 with_lint=0
 with_chaos=0
+with_slo=0
 figure_args=""
 for arg in "$@"; do
     if [ "$arg" = "--faults" ]; then
         with_faults=1
     elif [ "$arg" = "--chaos" ]; then
         with_chaos=1
+    elif [ "$arg" = "--slo" ]; then
+        with_slo=1
     elif [ "$arg" = "--telemetry" ]; then
         with_telemetry=1
     elif [ "$arg" = "--metrics" ]; then
@@ -54,6 +61,9 @@ fi
 if [ "$with_chaos" = "1" ]; then
     cargo run --release -q -p bm-bench --bin bmstore_cli -- chaos run --seeds 25
     cargo run --release -q -p bm-bench --bin bmstore_cli -- chaos run --seeds 25 --policy quiesce-replay
+fi
+if [ "$with_slo" = "1" ]; then
+    cargo run --release -q -p bm-bench --bin bmstore_cli -- slo
 fi
 if [ "$with_telemetry" = "1" ]; then
     cargo run --release -q -p bm-bench --bin telemetry_report -- "$@"

@@ -45,6 +45,19 @@ echo "==> telemetry smoke (release)"
 # spike to the stage (and tenant) that absorbed it.
 cargo run --release -q -p bm-bench --bin telemetry_smoke
 
+echo "==> telemetry report, strict (release, --quick)"
+# --strict turns any WARNING (dropped telemetry events, NVMe-MI decode
+# failures, crash-recovery noise, past-due clamping) into a non-zero
+# exit, so silent observability degradation fails the preflight.
+cargo run --release -q -p bm-bench --bin telemetry_report -- --quick --strict > /dev/null
+
+echo "==> SLO smoke (release)"
+# The alerting contract: a tiny two-tenant run with an injected SSD
+# stall must fire exactly one deterministic latency alert, render a
+# parseable incident report that is byte-identical across two runs,
+# and blame the stalled backend stage in tenant 0's critical path.
+cargo run --release -q -p bm-bench --bin bmstore_cli -- slo --smoke
+
 echo "==> bench report regression gate (release, --quick)"
 # The performance contract: the fig08/09/10/12 BM-Store envelope
 # (throughput, p50/p99, peak queue depth, saturated stage) must stay

@@ -1,0 +1,244 @@
+//! End-to-end contract of the blame/SLO observability layer:
+//!
+//! * per-command blame attribution **partitions** the root span — the
+//!   queue-wait + retry + crash-recovery + per-stage service buckets
+//!   sum exactly to the command's wall time, with and without a fault
+//!   plan in force;
+//! * the SLO engine's alert sequence and the rendered incident report
+//!   are seed-stable: the same seed and fault plan reproduce them
+//!   byte-for-byte;
+//! * the whole layer is inert when off: enabling telemetry + SLO does
+//!   not perturb the simulation timeline.
+
+use bmstore::nvme::types::Lba;
+use bmstore::sim::faults::{FaultKind, FaultPlan};
+use bmstore::sim::slo::{parse_incident, SloConfig, SloSpec};
+use bmstore::sim::{SimDuration, SimTime};
+use bmstore::testbed::{
+    BufferId, Client, ClientOutput, Completion, DeviceId, IoOp, IoRequest, Testbed, TestbedConfig,
+    World,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn us(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_us(n)
+}
+
+/// Every completion a run delivered: (tenant, tag, when, success).
+type CompletionLog = Rc<RefCell<Vec<(usize, u64, SimTime, bool)>>>;
+
+/// Closed-loop tenant: keeps 8 I/Os in flight until `total` issued.
+struct Loader {
+    dev: DeviceId,
+    total: u64,
+    issued: u64,
+    buf: BufferId,
+    log: Option<CompletionLog>,
+}
+
+impl Loader {
+    fn next(&mut self) -> IoRequest {
+        self.issued += 1;
+        IoRequest {
+            dev: self.dev,
+            op: if self.issued.is_multiple_of(4) {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            },
+            lba: Lba((self.issued * 7919) % 1_000_000),
+            blocks: 1,
+            buf: self.buf,
+            tag: self.issued,
+        }
+    }
+}
+
+impl Client for Loader {
+    fn start(&mut self, _now: SimTime) -> ClientOutput {
+        let n = 8u64.min(self.total) as usize;
+        ClientOutput::submit((0..n).map(|_| self.next()).collect())
+    }
+
+    fn on_completion(&mut self, now: SimTime, c: Completion) -> ClientOutput {
+        if let Some(log) = &self.log {
+            log.borrow_mut()
+                .push((c.dev.0, c.tag, now, c.status.is_success()));
+        }
+        if self.issued < self.total {
+            ClientOutput::submit(vec![self.next()])
+        } else {
+            ClientOutput::idle()
+        }
+    }
+}
+
+/// A plan that exercises every blame bucket: a latency spike (service
+/// time), a stall (queue-wait pile-up), and an engine crash (recovery
+/// window, retries/aborts).
+fn stressful_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(
+            us(150),
+            FaultKind::SsdLatencySpike {
+                ssd: 0,
+                extra: SimDuration::from_us(200),
+                until: us(400),
+            },
+        )
+        .with(
+            us(500),
+            FaultKind::SsdStall {
+                ssd: 1,
+                until: us(700),
+            },
+        )
+        .with(
+            us(900),
+            FaultKind::EngineCrash {
+                restart_after: SimDuration::from_us(300),
+            },
+        )
+}
+
+fn run(seed: u64, plan: Option<FaultPlan>, observed: bool) -> World {
+    run_logged(seed, plan, observed, None)
+}
+
+fn run_logged(
+    seed: u64,
+    plan: Option<FaultPlan>,
+    observed: bool,
+    log: Option<CompletionLog>,
+) -> World {
+    let mut cfg = TestbedConfig::bm_store_bare_metal(2).with_seed(seed);
+    if observed {
+        cfg = cfg.with_telemetry().with_slo(
+            SloConfig::new()
+                .with_spec(
+                    SloSpec::latency(0, SimDuration::from_us(200))
+                        .with_windows(SimDuration::from_us(100), SimDuration::from_us(400)),
+                )
+                .with_spec(
+                    SloSpec::latency(1, SimDuration::from_us(200))
+                        .with_windows(SimDuration::from_us(100), SimDuration::from_us(400)),
+                )
+                .with_stall_after(SimDuration::from_ms(50)),
+        );
+    }
+    if let Some(p) = plan {
+        cfg = cfg.with_fault_plan(p);
+    }
+    let mut tb = Testbed::new(cfg);
+    let buf0 = tb.register_buffer(4096);
+    let buf1 = tb.register_buffer(4096);
+    let mut world = World::new(tb);
+    for (i, buf) in [buf0, buf1].into_iter().enumerate() {
+        world.add_client(Box::new(Loader {
+            dev: DeviceId(i),
+            total: 500,
+            issued: 0,
+            buf,
+            log: log.clone(),
+        }));
+    }
+    world.run(None)
+}
+
+/// Every analyzed command's blame buckets must sum exactly to its root
+/// span, fault plan or not; and the profile roll-ups must preserve the
+/// totals.
+fn assert_blame_partitions(world: &World) {
+    let analysis = world.critical_path().expect("telemetry enabled");
+    assert!(
+        !analysis.commands.is_empty(),
+        "the run recorded command spans"
+    );
+    for b in &analysis.commands {
+        assert_eq!(
+            b.blame_sum(),
+            b.total(),
+            "blame must partition cmd {} exactly: {}",
+            b.cmd,
+            b.render_path()
+        );
+    }
+    for (key, p) in &analysis.profiles {
+        let direct: SimDuration = analysis
+            .commands
+            .iter()
+            .filter(|b| (b.tenant, b.opcode) == *key)
+            .map(|b| b.total())
+            .sum();
+        assert_eq!(p.blame_sum(), direct, "profile {key:?} preserves totals");
+    }
+}
+
+#[test]
+fn blame_partitions_without_faults() {
+    let world = run(11, None, true);
+    let analysis = world.critical_path().expect("telemetry enabled");
+    assert_blame_partitions(&world);
+    // No fault plan: nothing can be blamed on retries or recovery.
+    let fleet = analysis.fleet_profile();
+    assert_eq!(fleet.retry, SimDuration::ZERO);
+    assert_eq!(fleet.crash_recovery, SimDuration::ZERO);
+    assert_eq!(fleet.fault_overlap, SimDuration::ZERO);
+}
+
+#[test]
+fn blame_partitions_under_faults() {
+    let world = run(11, Some(stressful_plan(0xB1A7E)), true);
+    assert_blame_partitions(&world);
+    // The crash opened a recovery window; some command must carry
+    // crash-recovery or fault-overlap blame.
+    let analysis = world.critical_path().expect("telemetry enabled");
+    let fleet = analysis.fleet_profile();
+    assert!(
+        fleet.fault_overlap > SimDuration::ZERO,
+        "commands overlapped the injected fault windows"
+    );
+}
+
+#[test]
+fn alerts_and_incident_are_seed_stable() {
+    let a = run(23, Some(stressful_plan(0xB1A7E)), true);
+    let b = run(23, Some(stressful_plan(0xB1A7E)), true);
+    let alerts_a: Vec<String> = a.slo_alerts().iter().map(|al| al.render()).collect();
+    let alerts_b: Vec<String> = b.slo_alerts().iter().map(|al| al.render()).collect();
+    assert_eq!(alerts_a, alerts_b, "alert sequence is deterministic");
+    let inc_a = a.incident_report(&[], 5);
+    let inc_b = b.incident_report(&[], 5);
+    assert_eq!(inc_a, inc_b, "incident text is deterministic");
+    let summary = parse_incident(&inc_a).expect("incident parses");
+    assert_eq!(summary.alerts, a.slo_alerts().len() as u64);
+    assert_eq!(summary.faults, 3, "all three plan events on the timeline");
+}
+
+#[test]
+fn observability_layer_is_inert() {
+    // Enabling telemetry + SLO adds sampler events to the scheduler but
+    // must not perturb a single I/O: completion-for-completion
+    // identical timelines against the bare run of the same seed.
+    let log_plain: CompletionLog = Rc::new(RefCell::new(Vec::new()));
+    let log_obs: CompletionLog = Rc::new(RefCell::new(Vec::new()));
+    run_logged(
+        37,
+        Some(stressful_plan(0x0FF)),
+        false,
+        Some(Rc::clone(&log_plain)),
+    );
+    run_logged(
+        37,
+        Some(stressful_plan(0x0FF)),
+        true,
+        Some(Rc::clone(&log_obs)),
+    );
+    assert!(!log_plain.borrow().is_empty(), "the runs completed I/O");
+    assert_eq!(
+        *log_plain.borrow(),
+        *log_obs.borrow(),
+        "observability must not move, reorder, or re-status any completion"
+    );
+}
