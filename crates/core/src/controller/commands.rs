@@ -178,12 +178,24 @@ impl BmsCommand {
                 .ok_or(CommandError::BadPayload)
         };
         let byte_at = |i: usize| p.get(i).copied().ok_or(CommandError::BadPayload);
+        let le_u32 = |at: usize| {
+            p.get(at..at + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or(CommandError::BadPayload)
+        };
+        let le_u64 = |at: usize| {
+            p.get(at..at + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or(CommandError::BadPayload)
+        };
         match verb {
             0xC0 => {
                 if p.len() < 10 {
                     return Err(CommandError::BadPayload);
                 }
-                let size_bytes = u64::from_le_bytes(p[1..9].try_into().expect("8 bytes"));
+                let size_bytes = le_u64(1)?;
                 let single_ssd = match p[9] {
                     PLACEMENT_RR => None,
                     s => Some(SsdId(s - 1)),
@@ -201,8 +213,8 @@ impl BmsCommand {
                 }
                 Ok(BmsCommand::SetQos {
                     func: func_at(0)?,
-                    iops: u32::from_le_bytes(p[1..5].try_into().expect("4 bytes")),
-                    mbps: u32::from_le_bytes(p[5..9].try_into().expect("4 bytes")),
+                    iops: le_u32(1)?,
+                    mbps: le_u32(5)?,
                 })
             }
             0xC3 => Ok(BmsCommand::QueryStats { func: func_at(0)? }),
@@ -213,7 +225,7 @@ impl BmsCommand {
                 if p.len() < 6 {
                     return Err(CommandError::BadPayload);
                 }
-                let len = u32::from_le_bytes(p[2..6].try_into().expect("4 bytes")) as usize;
+                let len = le_u32(2)? as usize;
                 if p.len() < 6 + len {
                     return Err(CommandError::BadPayload);
                 }

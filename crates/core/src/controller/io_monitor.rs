@@ -126,14 +126,18 @@ impl IoMonitor {
         if p.len() < 48 {
             return None;
         }
-        let at = |i: usize| u64::from_le_bytes(p[i * 8..(i + 1) * 8].try_into().expect("8"));
+        let at = |i: usize| {
+            p.get(i * 8..(i + 1) * 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+        };
         Some(FunctionCounters {
-            reads: at(0),
-            writes: at(1),
-            read_bytes: at(2),
-            write_bytes: at(3),
-            errors: at(4),
-            qos_deferred: at(5),
+            reads: at(0)?,
+            writes: at(1)?,
+            read_bytes: at(2)?,
+            write_bytes: at(3)?,
+            errors: at(4)?,
+            qos_deferred: at(5)?,
         })
     }
 

@@ -125,6 +125,7 @@ impl IoCounters {
         r.outstanding = r
             .outstanding
             .checked_sub(1)
+            // bm-lint: allow(panic-path): a gauge underflow means a completion was double-counted; continuing would corrupt every downstream stat
             .expect("outstanding gauge underflow");
         let ns = latency.as_nanos();
         r.latency_buckets[MonitorRegs::bucket_for(ns)] += 1;

@@ -35,7 +35,7 @@ impl Binding {
     /// The namespace id the function exposes (always 1: one namespace
     /// per front-end function, per §V-B).
     pub fn nsid(&self) -> Nsid {
-        Nsid::new(1).expect("1 is valid")
+        Nsid::ONE
     }
 
     /// Size in logical blocks.

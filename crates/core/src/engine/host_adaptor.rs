@@ -190,6 +190,7 @@ impl BackEndPort {
     /// Panics if no capacity remains (callers must gate on
     /// [`BackEndPort::has_capacity`]).
     pub fn reserve(&mut self, origin: Outstanding) -> (Cid, PciAddr) {
+        // bm-lint: allow(panic-path): documented contract — callers gate on has_capacity(), so an empty free list is a bookkeeping bug that must stop the sim
         let cid = self.free_cids.pop().expect("back-end CID available");
         self.live_slots += 1;
         self.inflight_payload += origin.bytes;

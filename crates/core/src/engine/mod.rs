@@ -1346,7 +1346,9 @@ impl BmsEngine {
         debug_assert!(sqes.is_empty());
         loop {
             let f = &mut self.functions[func.index() as usize];
-            let pair = f.queue(qid).expect("checked above");
+            let Some(pair) = f.queue(qid) else {
+                break;
+            };
             if pair.sq.is_empty() {
                 break;
             }
@@ -1533,7 +1535,7 @@ impl BmsEngine {
         // Validation against the binding.
         let valid = match self.functions[idx].binding() {
             Some(b) => {
-                io.sqe.nsid == Some(Nsid::new(1).expect("valid"))
+                io.sqe.nsid == Some(Nsid::ONE)
                     && (io.sqe.io_opcode() == Some(IoOpcode::Flush)
                         || io
                             .sqe
@@ -1632,7 +1634,7 @@ impl BmsEngine {
             }
             for ssd in ssds {
                 let mut sqe = io.sqe;
-                sqe.nsid = Some(Nsid::new(1).expect("valid"));
+                sqe.nsid = Some(Nsid::ONE);
                 self.enqueue_backend(now, ssd, PendingIo { sqe, ..io.clone() }, host, actions);
             }
             return;
@@ -1727,7 +1729,7 @@ impl BmsEngine {
         let mut sqe = Sqe::io(
             io.sqe.io_opcode().expect("I/O command"),
             io.host_cid, // replaced with the back-end CID at enqueue
-            Nsid::new(1).expect("valid"),
+            Nsid::ONE,
             pl,
             nblocks,
             prp1,
@@ -1869,7 +1871,9 @@ impl BmsEngine {
                 actions.push(EngineAction::QosWakeup { at: top.at });
                 break;
             }
-            let rel = self.qos_heap.pop().expect("peeked");
+            let Some(rel) = self.qos_heap.pop() else {
+                break;
+            };
             // Keep the namespace's buffer bookkeeping in sync.
             if let Some(b) = self.functions[rel.io.func.index() as usize].binding_mut() {
                 let _ = b.qos.pop_due(now);
@@ -1934,8 +1938,7 @@ impl BmsEngine {
                 }
                 *remaining -= 1;
                 if *remaining == 0 {
-                    let (_, worst) = self.fanout.remove(&key).expect("present");
-                    Some(worst)
+                    self.fanout.remove(&key).map(|(_, worst)| worst)
                 } else {
                     None
                 }
@@ -2010,11 +2013,10 @@ impl BmsEngine {
     ) -> Vec<EngineAction> {
         let sidx = ssd.0 as usize;
         let mut actions = Vec::new();
-        while !self.paused[sidx]
-            && !self.backlog[sidx].is_empty()
-            && self.adaptor.port(ssd).has_capacity()
-        {
-            let io = self.backlog[sidx].pop_front().expect("non-empty");
+        while !self.paused[sidx] && self.adaptor.port(ssd).has_capacity() {
+            let Some(io) = self.backlog[sidx].pop_front() else {
+                break;
+            };
             self.push_to_port(now, ssd, io, host, &mut actions);
         }
         actions

@@ -5,18 +5,24 @@
 //! telemetry — is a *deterministic* discrete-event simulation: same
 //! seed, same bytes (the property the figure pipeline byte-compares).
 //! Nothing in the compiler enforces that, so this crate does. It is a
-//! hand-rolled token scanner in the spirit of the vendored
-//! `crates/compat` subsets: no dependencies, no proc macros, no
-//! network — it reads the workspace source and applies six rules:
+//! hand-rolled two-pass token-stream analyzer in the spirit of the
+//! vendored `crates/compat` subsets: no dependencies, no proc macros,
+//! no network. Pass 1 lexes every workspace file ([`lexer`]) and
+//! builds a cross-crate symbol table ([`symbols`]: enum variants,
+//! statics, `thread_local!`s); pass 2 runs the rules over each file's
+//! token stream with that table in scope:
 //!
 //! | id | rule |
 //! |----|------|
-//! | `wall-clock`    | no `Instant::now`/`SystemTime` outside `compat`/`bench` |
-//! | `iter-order`    | no `HashMap`/`HashSet` in sim-critical crates |
-//! | `unseeded-rng`  | no `thread_rng`/`rand::random`/`OsRng` outside `compat` |
-//! | `panic-path`    | no `unwrap`/`expect`/`panic!` in sim-critical library code |
-//! | `println`       | no `println!`-family output from library crates |
-//! | `wildcard-arm`  | no bare `_ =>` arms over `Effect`/`FaultKind`/`BmsCommand` |
+//! | `wall-clock`         | no `Instant::now`/`SystemTime` outside `compat`/`bench` |
+//! | `iter-order`         | no `HashMap`/`HashSet` in sim-critical crates |
+//! | `unseeded-rng`       | no `thread_rng`/`rand::random`/`OsRng` outside `compat` |
+//! | `panic-path`         | no `unwrap`/`expect`/`panic!` in sim-critical library code |
+//! | `println`            | no `println!`-family output from library crates |
+//! | `wildcard-arm`       | matches over `Effect`/`FaultKind`/`BmsCommand`/`Stage` handle every variant (resolved cross-crate) |
+//! | `float-determinism`  | no `partial_cmp`, order-sensitive float accumulation, or ns→float casts in sim-critical code |
+//! | `time-unit`          | no raw integer literals mixed with `_ns` values without a named unit constructor |
+//! | `shard-safety`       | no process-global/thread-affine state blocking parallel shards (ROADMAP 1) |
 //!
 //! Violations are suppressed per-site with
 //! `// bm-lint: allow(<rule>): <justification>` (the justification is
@@ -29,11 +35,14 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
-pub mod mask;
+pub mod lexer;
 pub mod rules;
+pub mod selftest;
+pub mod symbols;
 
 pub use baseline::{count_violations, ratchet, Baseline, Counts, RatchetReport};
 pub use rules::{scan_source, FileCtx, FileKind, Rule, Violation, SIM_CRITICAL};
+pub use symbols::SymbolTable;
 
 use std::path::{Path, PathBuf};
 
@@ -143,29 +152,52 @@ fn classify(rel: &str) -> Option<FileCtx> {
 /// The result of scanning a workspace tree.
 #[derive(Debug, Default)]
 pub struct ScanResult {
-    /// All unsuppressed findings, in path/line order.
+    /// All unsuppressed findings, in path/line order. These count
+    /// against the baseline ratchet.
     pub violations: Vec<Violation>,
+    /// Findings silenced by a justified pragma, in path/line order.
+    /// Excluded from the ratchet; surfaced by `--format json`.
+    pub suppressed: Vec<Violation>,
     /// Files scanned.
     pub files: usize,
 }
 
-/// Scans every workspace source file under `root`.
+/// Scans every workspace source file under `root`: pass 1 lexes all
+/// files and builds the cross-crate [`SymbolTable`]; pass 2 runs the
+/// rules per file with the table in scope.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the directory walk or file reads.
 pub fn scan_workspace(root: &Path) -> std::io::Result<ScanResult> {
     let files = workspace_files(root)?;
-    let mut violations = Vec::new();
-    let n = files.len();
-    for f in &files {
-        let src = std::fs::read_to_string(&f.abs)?;
-        violations.extend(scan_source(&f.rel, &src, &f.ctx));
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs))
+        .collect::<std::io::Result<_>>()?;
+    let mut table = SymbolTable::default();
+    for (f, src) in files.iter().zip(&sources) {
+        table.harvest(&f.rel, &f.ctx.crate_id, &lexer::lex(src));
     }
-    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+    for (f, src) in files.iter().zip(&sources) {
+        for v in scan_source(&f.rel, src, &f.ctx, &table) {
+            if v.suppressed {
+                suppressed.push(v);
+            } else {
+                violations.push(v);
+            }
+        }
+    }
+    let order =
+        |a: &Violation, b: &Violation| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule));
+    violations.sort_by(order);
+    suppressed.sort_by(order);
     Ok(ScanResult {
         violations,
-        files: n,
+        suppressed,
+        files: files.len(),
     })
 }
 

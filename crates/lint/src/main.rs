@@ -1,15 +1,25 @@
 //! CLI for `bm-lint`.
 //!
 //! ```text
-//! bm-lint [check] [--root DIR] [--baseline PATH]   ratchet check (CI gate)
-//! bm-lint list [--root DIR]                        print every finding
+//! bm-lint [check] [--root DIR] [--baseline PATH] [--format text|json]
+//!                                                  ratchet check (CI gate)
+//! bm-lint list [--root DIR] [--format text|json]   print every finding
 //! bm-lint tighten [--root DIR] [--baseline PATH]   rewrite the baseline floor
 //! bm-lint explain <rule>                           why the rule exists
+//! bm-lint self-test                                run the embedded fixture suite
 //! ```
 //!
-//! Exit codes: 0 ok, 1 ratchet regression, 2 usage or I/O error.
+//! `--format json` emits a stable machine-readable report (see
+//! `json_report`): schema version, every finding with rule id, path,
+//! line, crate, message, and pragma status (`active`/`suppressed`),
+//! per-`(rule, crate)` counts, and — for `check` — the ratchet verdict.
+//! Exit codes are identical to text mode: 0 ok, 1 ratchet regression,
+//! 2 usage or I/O error.
 
-use bm_lint::{baseline::Baseline, count_violations, find_root, ratchet, scan_workspace, Rule};
+use bm_lint::{
+    baseline::Baseline, count_violations, find_root, ratchet, scan_workspace, selftest,
+    RatchetReport, Rule, ScanResult, Violation,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +28,7 @@ struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     rule: Option<String>,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         baseline: None,
         rule: None,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     let mut saw_command = false;
@@ -37,12 +49,18 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?))
             }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                Some(other) => return Err(format!("unknown format `{other}` (text|json)")),
+                None => return Err("--format needs a value (text|json)".to_string()),
+            },
             "--explain" => {
                 args.command = "explain".to_string();
                 saw_command = true;
                 args.rule = Some(it.next().ok_or("--explain needs a rule id")?);
             }
-            "check" | "list" | "tighten" | "explain" if !saw_command => {
+            "check" | "list" | "tighten" | "explain" | "self-test" if !saw_command => {
                 args.command = a;
                 saw_command = true;
             }
@@ -53,6 +71,104 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_finding(v: &Violation) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"crate\":\"{}\",\"message\":\"{}\",\"pragma\":\"{}\"}}",
+        v.rule.id(),
+        json_escape(&v.path),
+        v.line,
+        json_escape(&v.crate_id),
+        json_escape(&v.detail),
+        if v.suppressed { "suppressed" } else { "active" }
+    )
+}
+
+/// The stable JSON schema: bump `schema_version` on shape changes.
+fn json_report(scan: &ScanResult, report: Option<&RatchetReport>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", scan.files));
+    out.push_str("  \"findings\": [\n");
+    let all: Vec<String> = scan
+        .violations
+        .iter()
+        .chain(scan.suppressed.iter())
+        .map(|v| format!("    {}", json_finding(v)))
+        .collect();
+    out.push_str(&all.join(",\n"));
+    if !all.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    let counts = count_violations(&scan.violations);
+    out.push_str("  \"counts\": [\n");
+    let rows: Vec<String> = counts
+        .iter()
+        .map(|((rule, crate_id), n)| {
+            format!(
+                "    {{\"rule\":\"{}\",\"crate\":\"{}\",\"count\":{}}}",
+                json_escape(rule),
+                json_escape(crate_id),
+                n
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]");
+    if let Some(report) = report {
+        out.push_str(",\n  \"ratchet\": {\n");
+        out.push_str(&format!("    \"ok\": {},\n", report.ok()));
+        for (key, deltas) in [
+            ("regressions", &report.regressions),
+            ("improvements", &report.improvements),
+        ] {
+            out.push_str(&format!("    \"{key}\": ["));
+            let rows: Vec<String> = deltas
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"rule\":\"{}\",\"crate\":\"{}\",\"current\":{},\"allowed\":{}}}",
+                        json_escape(&d.rule),
+                        json_escape(&d.crate_id),
+                        d.current,
+                        d.allowed
+                    )
+                })
+                .collect();
+            out.push_str(&rows.join(","));
+            out.push(']');
+            if key == "regressions" {
+                out.push_str(",\n");
+            } else {
+                out.push('\n');
+            }
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
@@ -78,6 +194,19 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if args.command == "self-test" {
+        return match selftest::run() {
+            Ok(summary) => {
+                println!("bm-lint: {summary}");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(report) => {
+                eprintln!("bm-lint: {report}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
+
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
     let root = match args.root {
         Some(r) => r,
@@ -92,15 +221,20 @@ fn run() -> Result<ExitCode, String> {
 
     match args.command.as_str() {
         "list" => {
+            if args.json {
+                print!("{}", json_report(&scan, None));
+                return Ok(ExitCode::SUCCESS);
+            }
             for v in &scan.violations {
                 println!("{v}");
             }
             let total = scan.violations.len();
             println!(
-                "bm-lint: {} finding{} across {} files",
+                "bm-lint: {} finding{} across {} files ({} suppressed by pragma)",
                 total,
                 if total == 1 { "" } else { "s" },
-                scan.files
+                scan.files,
+                scan.suppressed.len()
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -125,6 +259,14 @@ fn run() -> Result<ExitCode, String> {
             let base =
                 Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
             let report = ratchet(&counts, &base);
+            if args.json {
+                print!("{}", json_report(&scan, Some(&report)));
+                return Ok(if report.ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
             if !report.ok() {
                 eprintln!("bm-lint: ratchet REGRESSION — new violations over the baseline:");
                 for d in &report.regressions {

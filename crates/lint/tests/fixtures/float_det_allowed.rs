@@ -1,0 +1,5 @@
+// R7 fixture: suppressed with a justified pragma.
+fn allowed(xs: &[f64]) -> f64 {
+    // bm-lint: allow(float-determinism): summation order pinned by sorted tenant ids
+    xs.iter().sum::<f64>()
+}

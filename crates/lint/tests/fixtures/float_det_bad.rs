@@ -1,0 +1,13 @@
+// R7 fixture: float ordering/accumulation hazards in sim-critical code.
+fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+fn cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+fn thresh(x: f64) -> bool {
+    x > 0.95
+}
+fn cast(lat_ns: u64) -> f64 {
+    lat_ns as f64
+}

@@ -1,0 +1,11 @@
+// Negative fixture for the lexer edge cases the old char-level masker
+// misclassified: raw strings, nested block comments, and char literals
+// containing `/`. Every needle below is literal data — zero findings.
+pub fn edges() -> usize {
+    let raw = r#"HashMap "quoted" Instant::now() thread_rng()"#;
+    let nested = 1; /* outer /* HashMap inner panic! */ still comment */
+    let slash = '/';
+    let quote = '\'';
+    let bytes = br"rand::random()";
+    raw.len() + nested + (slash as usize) + (quote as usize) + bytes.len()
+}

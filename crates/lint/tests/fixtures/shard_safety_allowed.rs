@@ -1,0 +1,5 @@
+// R9 fixture: suppressed with a justified pragma.
+use std::sync::atomic::AtomicU64;
+
+// bm-lint: allow(shard-safety): debug-only tick counter, read by no sim path
+static DEBUG_TICKS: AtomicU64 = AtomicU64::new(0);

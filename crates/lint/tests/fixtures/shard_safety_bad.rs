@@ -1,0 +1,13 @@
+// R9 fixture: process-global and thread-affine state.
+use std::cell::RefCell;
+use std::rc::Rc;
+
+static REGISTRY: std::sync::Mutex<Vec<u32>> = std::sync::Mutex::new(Vec::new());
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+
+pub struct Shared {
+    inner: Rc<RefCell<u32>>,
+}

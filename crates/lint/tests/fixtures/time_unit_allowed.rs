@@ -1,0 +1,5 @@
+// R8 fixture: suppressed with a justified pragma.
+fn hold(deadline_ns: u64) -> u64 {
+    // bm-lint: allow(time-unit): NVMe spec defines the 500ns doorbell hold-off in ns
+    deadline_ns + 500
+}

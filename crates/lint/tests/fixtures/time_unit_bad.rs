@@ -1,0 +1,7 @@
+// R8 fixture: raw integer literals mixed with nanosecond values.
+fn hold(deadline_ns: u64) -> u64 {
+    deadline_ns + 500
+}
+fn wait() -> SimDuration {
+    SimDuration::from_nanos(250_000)
+}

@@ -1,0 +1,11 @@
+// Cross-crate fixture workspace, defining side: the enum lives in
+// `sim`; matches over it live in `testbed` (see match_effects*.rs).
+// `Trace` was added after the non-wildcard match was written, which is
+// exactly the drift the exhaustiveness rule exists to catch.
+pub enum Effect {
+    ScheduleAt,
+    ForwardToSsd,
+    RaiseInterrupt,
+    ChargeCpu,
+    Trace,
+}

@@ -1,0 +1,11 @@
+// Cross-crate fixture workspace, matching side: written before the
+// `Trace` variant existed, with no wildcard — the analyzer must name
+// the missing variant by resolving the definition from effects_def.rs.
+pub fn apply(e: Effect) -> u8 {
+    match e {
+        Effect::ScheduleAt => 1,
+        Effect::ForwardToSsd => 2,
+        Effect::RaiseInterrupt => 3,
+        Effect::ChargeCpu => 4,
+    }
+}

@@ -1,0 +1,8 @@
+// Cross-crate fixture workspace: the wildcard arm must be reported
+// with the concrete variants it hides, resolved from effects_def.rs.
+pub fn apply(e: Effect) -> u8 {
+    match e {
+        Effect::ScheduleAt => 1,
+        _ => 0,
+    }
+}

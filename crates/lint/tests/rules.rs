@@ -1,170 +1,208 @@
-//! Fixture-driven rule tests: each known-bad snippet must produce the
-//! exact rule id at the exact line, and each pragma-suppressed variant
-//! must produce nothing.
+//! Fixture-driven rule tests.
+//!
+//! The exact `(rule, line, suppressed)` expectations live in
+//! `bm_lint::selftest::CASES` — the same table the installed binary
+//! replays under `bm-lint self-test` — so this file drives that suite
+//! and then adds what the embedded table cannot express: scoping checks
+//! (same source, different crate/target), message-detail assertions
+//! (the wildcard finding must *name* the hidden variants), and a
+//! cross-crate exhaustiveness demonstration against the real tree.
 
-use bm_lint::{scan_source, FileCtx, FileKind, Rule, Violation};
+use bm_lint::lexer::lex;
+use bm_lint::selftest;
+use bm_lint::{scan_source, FileCtx, FileKind, Rule, SymbolTable, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
 
 fn scan_fixture(name: &str, ctx: &FileCtx) -> Vec<Violation> {
-    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
-    let src =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"));
-    scan_source(name, &src, ctx)
+    let src = fixture(name);
+    let mut table = SymbolTable::default();
+    table.harvest(name, &ctx.crate_id, &lex(&src));
+    scan_source(name, &src, ctx, &table)
+        .into_iter()
+        .filter(|v| !v.suppressed)
+        .collect()
 }
 
 fn lib(crate_id: &str) -> FileCtx {
     FileCtx::new(crate_id, FileKind::Lib)
 }
 
-fn hits(vs: &[Violation]) -> Vec<(&'static str, usize)> {
-    vs.iter().map(|v| (v.rule.id(), v.line)).collect()
+/// The embedded expectation table passes, and every on-disk fixture
+/// matches its embedded copy (so `self-test` really tests what is
+/// committed).
+#[test]
+fn fixture_suite_matches_expectation_table() {
+    if let Err(report) = selftest::run() {
+        panic!("{report}");
+    }
+    for case in selftest::CASES {
+        let embedded = selftest::source(case.file).unwrap();
+        assert_eq!(
+            fixture(case.file),
+            embedded,
+            "{} drifted from its include_str! copy — rebuild bm-lint",
+            case.file
+        );
+    }
 }
 
 #[test]
-fn wall_clock_bad_fires_at_exact_lines() {
-    let vs = scan_fixture("wall_clock_bad.rs", &lib("core"));
-    assert_eq!(
-        hits(&vs),
-        vec![("wall-clock", 5), ("wall-clock", 6)],
-        "{vs:#?}"
-    );
-}
-
-#[test]
-fn wall_clock_pragma_suppresses() {
-    let vs = scan_fixture("wall_clock_allowed.rs", &lib("core"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn iter_order_bad_fires_at_exact_lines() {
-    let vs = scan_fixture("iter_order_bad.rs", &lib("ssd"));
-    assert_eq!(
-        hits(&vs),
-        vec![("iter-order", 2), ("iter-order", 5), ("iter-order", 6)],
-        "{vs:#?}"
-    );
-}
-
-#[test]
-fn iter_order_only_applies_to_sim_critical_crates() {
-    // The same source is clean in a non-sim-critical crate…
-    let vs = scan_fixture("iter_order_bad.rs", &lib("workloads"));
-    assert!(vs.is_empty(), "{vs:#?}");
-    // …and in test targets of sim-critical crates.
-    let vs = scan_fixture("iter_order_bad.rs", &FileCtx::new("ssd", FileKind::Test));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn iter_order_pragma_suppresses() {
-    let vs = scan_fixture("iter_order_allowed.rs", &lib("ssd"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn unseeded_rng_bad_fires_at_exact_lines() {
-    let vs = scan_fixture("unseeded_rng_bad.rs", &lib("workloads"));
-    assert_eq!(
-        hits(&vs),
-        vec![("unseeded-rng", 3), ("unseeded-rng", 4)],
-        "{vs:#?}"
-    );
-}
-
-#[test]
-fn unseeded_rng_fires_even_in_tests() {
-    let vs = scan_fixture("unseeded_rng_bad.rs", &FileCtx::new("sim", FileKind::Test));
-    assert_eq!(vs.len(), 2, "{vs:#?}");
-    assert!(vs.iter().all(|v| v.rule == Rule::UnseededRng));
-}
-
-#[test]
-fn unseeded_rng_pragma_suppresses() {
-    let vs = scan_fixture("unseeded_rng_allowed.rs", &lib("workloads"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn panic_path_bad_fires_at_exact_lines() {
-    let vs = scan_fixture("panic_path_bad.rs", &lib("nvme"));
-    assert_eq!(
-        hits(&vs),
-        vec![("panic-path", 3), ("panic-path", 4), ("panic-path", 6)],
-        "{vs:#?}"
-    );
-}
-
-#[test]
-fn panic_path_silent_outside_sim_critical_libs() {
-    let vs = scan_fixture("panic_path_bad.rs", &lib("bench"));
-    assert!(vs.is_empty(), "{vs:#?}");
-    let vs = scan_fixture("panic_path_bad.rs", &FileCtx::new("nvme", FileKind::Test));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn panic_path_pragma_suppresses() {
-    let vs = scan_fixture("panic_path_allowed.rs", &lib("nvme"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn println_bad_fires_at_exact_lines() {
-    let vs = scan_fixture("println_bad.rs", &lib("host"));
-    assert_eq!(hits(&vs), vec![("println", 3), ("println", 4)], "{vs:#?}");
-}
-
-#[test]
-fn println_allowed_in_binaries() {
-    let vs = scan_fixture("println_bad.rs", &FileCtx::new("host", FileKind::Bin));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn println_pragma_suppresses() {
-    let vs = scan_fixture("println_allowed.rs", &lib("host"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn wildcard_arm_bad_fires_at_exact_line() {
-    let vs = scan_fixture("wildcard_arm_bad.rs", &lib("testbed"));
-    assert_eq!(hits(&vs), vec![("wildcard-arm", 5)], "{vs:#?}");
-}
-
-#[test]
-fn wildcard_arm_pragma_suppresses() {
-    let vs = scan_fixture("wildcard_arm_allowed.rs", &lib("testbed"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn bare_and_unknown_pragmas_do_not_suppress() {
-    let vs = scan_fixture("pragma_bad.rs", &lib("core"));
-    // The justification-less pragma and the unknown-rule pragma are each
-    // flagged, and the violations they sit above still fire.
-    assert_eq!(
-        hits(&vs),
-        vec![
-            ("bad-pragma", 3),
-            ("panic-path", 4),
-            ("bad-pragma", 5),
-            ("panic-path", 6),
-        ],
-        "{vs:#?}"
-    );
-}
-
-#[test]
-fn needles_in_comments_and_strings_are_masked() {
-    let vs = scan_fixture("masked_needles.rs", &lib("core"));
-    assert!(vs.is_empty(), "{vs:#?}");
-}
-
-#[test]
-fn every_rule_has_a_bad_fixture_and_an_explain_text() {
+fn every_rule_has_a_fixture_case_and_an_explain_text() {
     for rule in Rule::ALL {
         assert!(!rule.explain().is_empty(), "{} has no explain", rule.id());
         assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        // bad-pragma is covered by pragma_bad.rs; every other rule must
+        // appear in at least one expectation row.
+        let covered = selftest::CASES
+            .iter()
+            .any(|c| c.expected.iter().any(|(id, _, _)| *id == rule.id()));
+        assert!(covered, "{} has no fixture expectation", rule.id());
     }
+}
+
+#[test]
+fn sim_critical_scoping_is_enforced_per_rule() {
+    // iter-order: silent outside sim-critical crates and in test targets.
+    assert!(scan_fixture("iter_order_bad.rs", &lib("workloads")).is_empty());
+    assert!(scan_fixture("iter_order_bad.rs", &FileCtx::new("ssd", FileKind::Test)).is_empty());
+    // panic-path: silent in bench crates and test targets.
+    assert!(scan_fixture("panic_path_bad.rs", &lib("bench")).is_empty());
+    assert!(scan_fixture("panic_path_bad.rs", &FileCtx::new("nvme", FileKind::Test)).is_empty());
+    // println: binaries may print.
+    assert!(scan_fixture("println_bad.rs", &FileCtx::new("host", FileKind::Bin)).is_empty());
+    // unseeded-rng applies even in tests.
+    let vs = scan_fixture("unseeded_rng_bad.rs", &FileCtx::new("sim", FileKind::Test));
+    assert_eq!(vs.len(), 2, "{vs:#?}");
+    assert!(vs.iter().all(|v| v.rule == Rule::UnseededRng));
+    // The three new determinism rules are scoped to sim-critical code.
+    assert!(scan_fixture("float_det_bad.rs", &lib("bench")).is_empty());
+    assert!(scan_fixture("time_unit_bad.rs", &lib("workloads")).is_empty());
+    assert!(scan_fixture("shard_safety_bad.rs", &lib("bench")).is_empty());
+    assert!(scan_fixture("float_det_bad.rs", &FileCtx::new("sim", FileKind::Test)).is_empty());
+}
+
+/// The wildcard finding must name the concrete variants the `_` arm
+/// hides, resolved from the enum definition in a *different* fixture
+/// crate.
+#[test]
+fn cross_crate_wildcard_detail_names_hidden_variants() {
+    let def = selftest::source("xws/effects_def.rs").unwrap();
+    let src = selftest::source("xws/match_effects_wildcard.rs").unwrap();
+    let mut table = SymbolTable::default();
+    table.harvest("xws/effects_def.rs", "sim", &lex(def));
+    table.harvest("xws/match_effects_wildcard.rs", "testbed", &lex(src));
+    let vs = scan_source(
+        "xws/match_effects_wildcard.rs",
+        src,
+        &lib("testbed"),
+        &table,
+    );
+    assert_eq!(vs.len(), 1, "{vs:#?}");
+    let detail = &vs[0].detail;
+    for variant in ["ForwardToSsd", "RaiseInterrupt", "ChargeCpu", "Trace"] {
+        assert!(detail.contains(variant), "{detail}");
+    }
+    assert!(detail.contains("effects_def.rs"), "{detail}");
+}
+
+/// A match with no wildcard that predates a newly added variant is
+/// reported as missing exactly that variant.
+#[test]
+fn cross_crate_missing_arm_names_the_new_variant() {
+    let def = selftest::source("xws/effects_def.rs").unwrap();
+    let src = selftest::source("xws/match_effects.rs").unwrap();
+    let mut table = SymbolTable::default();
+    table.harvest("xws/effects_def.rs", "sim", &lex(def));
+    table.harvest("xws/match_effects.rs", "testbed", &lex(src));
+    let vs = scan_source("xws/match_effects.rs", src, &lib("testbed"), &table);
+    assert_eq!(vs.len(), 1, "{vs:#?}");
+    assert_eq!(vs[0].rule, Rule::WildcardArm);
+    assert_eq!(vs[0].line, 5);
+    assert!(
+        vs[0].detail.contains("missing variants"),
+        "{}",
+        vs[0].detail
+    );
+    assert!(vs[0].detail.contains("Trace"), "{}", vs[0].detail);
+    assert!(
+        !vs[0].detail.contains("ScheduleAt"),
+        "handled variant leaked into the missing list: {}",
+        vs[0].detail
+    );
+}
+
+/// The acceptance demo against the *real* tree: harvest the real
+/// `Effect` definition from `crates/testbed`, synthesize a consumer in
+/// `crates/chaos` territory with one arm deleted, and the analyzer must
+/// name the deleted variant — across the crate boundary.
+#[test]
+fn real_tree_effect_match_with_deleted_arm_names_missing_variant() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.parent().unwrap().parent().unwrap();
+    let def_path = root.join("crates/testbed/src/schemes/mod.rs");
+    let def_src = std::fs::read_to_string(&def_path).unwrap();
+    let mut table = SymbolTable::default();
+    table.harvest(
+        "crates/testbed/src/schemes/mod.rs",
+        "testbed",
+        &lex(&def_src),
+    );
+    let variants = table
+        .enums
+        .get("Effect")
+        .and_then(|defs| defs.first())
+        .expect("real Effect enum harvested from crates/testbed")
+        .variants
+        .clone();
+    assert!(
+        variants.len() >= 2,
+        "Effect should have several variants: {variants:?}"
+    );
+
+    // Build a match that handles every variant but the last.
+    let (last, rest) = variants.split_last().unwrap();
+    let mut src = String::from("pub fn consume(e: Effect) -> u32 {\n    match e {\n");
+    for (i, v) in rest.iter().enumerate() {
+        src.push_str(&format!("        Effect::{v} {{ .. }} => {i},\n"));
+    }
+    src.push_str("    }\n}\n");
+    let probe = "crates/chaos/src/probe.rs";
+    table.harvest(probe, "chaos", &lex(&src));
+    let vs = scan_source(probe, &src, &lib("chaos"), &table);
+    let missing: Vec<_> = vs.iter().filter(|v| v.rule == Rule::WildcardArm).collect();
+    assert_eq!(missing.len(), 1, "{vs:#?}");
+    assert!(
+        missing[0].detail.contains(last.as_str()),
+        "deleted arm `{last}` not named in: {}",
+        missing[0].detail
+    );
+
+    // Restore the arm (as a wildcard) and the finding flips to naming
+    // what the wildcard hides.
+    let wild = src.replace("    }\n}\n", "        _ => 99,\n    }\n}\n");
+    let vs = scan_source(probe, &wild, &lib("chaos"), &table);
+    let hidden: Vec<_> = vs.iter().filter(|v| v.rule == Rule::WildcardArm).collect();
+    assert_eq!(hidden.len(), 1, "{vs:#?}");
+    assert!(
+        hidden[0].detail.contains(last.as_str()),
+        "{}",
+        hidden[0].detail
+    );
+}
+
+/// Suppressed findings keep their pragma status (for `--format json`)
+/// instead of disappearing.
+#[test]
+fn suppressed_findings_are_kept_with_status() {
+    let src = fixture("float_det_allowed.rs");
+    let mut table = SymbolTable::default();
+    table.harvest("float_det_allowed.rs", "sim", &lex(&src));
+    let vs = scan_source("float_det_allowed.rs", &src, &lib("sim"), &table);
+    assert_eq!(vs.len(), 1, "{vs:#?}");
+    assert!(vs[0].suppressed);
+    assert_eq!(vs[0].rule, Rule::FloatDet);
 }

@@ -45,6 +45,10 @@ impl fmt::Display for Lba {
 pub struct Nsid(u32);
 
 impl Nsid {
+    /// Namespace 1 — the only namespace a single-namespace function
+    /// exposes, so hot paths can name it without an `Option` dance.
+    pub const ONE: Nsid = Nsid(1);
+
     /// The broadcast namespace id.
     pub const BROADCAST: Nsid = Nsid(0xFFFF_FFFF);
 

@@ -88,7 +88,7 @@ impl SimRng {
         if frac == 0.0 {
             return mean;
         }
-        let m = mean.as_nanos() as f64;
+        let m = mean.as_nanos_f64();
         let lo = m * (1.0 - frac);
         let hi = m * (1.0 + frac);
         SimDuration::from_nanos((lo + (hi - lo) * self.unit()).round() as u64)
@@ -98,7 +98,7 @@ impl SimRng {
     /// (inter-arrival times of a Poisson process).
     pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
         let u = 1.0 - self.unit(); // avoid ln(0)
-        SimDuration::from_nanos((-(u.ln()) * mean.as_nanos() as f64).round() as u64)
+        SimDuration::from_nanos((-(u.ln()) * mean.as_nanos_f64()).round() as u64)
     }
 
     /// A log-normally distributed duration with the given *median* and
@@ -109,7 +109,7 @@ impl SimRng {
     /// light right tail.
     pub fn lognormal(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
         let z = self.standard_normal();
-        let v = median.as_nanos() as f64 * (sigma * z).exp();
+        let v = median.as_nanos_f64() * (sigma * z).exp();
         SimDuration::from_nanos(v.round() as u64)
     }
 

@@ -483,7 +483,8 @@ impl SloEngine {
                     kind: AlertKind::Stall,
                     state: AlertState::Fire,
                     severity: Severity::Critical,
-                    burn: silent.as_nanos() as f64 / after.as_nanos().max(1) as f64,
+                    burn: silent.as_nanos_f64()
+                        / after.max(SimDuration::from_nanos(1)).as_nanos_f64(),
                 });
             }
         }

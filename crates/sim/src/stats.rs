@@ -327,6 +327,7 @@ impl TimeSeries {
         if self.points.is_empty() {
             return 0.0;
         }
+        // bm-lint: allow(float-determinism): points is an insertion-ordered Vec, so the summation order is pinned by construction
         self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
     }
 }

@@ -537,8 +537,8 @@ pub fn chrome_trace(rec: &TelemetryRecorder) -> String {
             s.stage.name(),
             s.tenant,
             s.cmd.0,
-            s.start.as_nanos() as f64 / 1000.0,
-            s.duration().as_nanos() as f64 / 1000.0,
+            s.start.as_micros_f64(),
+            s.duration().as_micros_f64(),
             s.cmd.0,
             s.opcode,
             s.ok,
@@ -570,7 +570,7 @@ pub fn chrome_trace(rec: &TelemetryRecorder) -> String {
             name,
             e.tenant,
             e.cmd.0,
-            e.at.as_nanos() as f64 / 1000.0,
+            e.at.as_micros_f64(),
             e.cmd.0,
         ));
     }

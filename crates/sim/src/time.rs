@@ -47,6 +47,15 @@ impl SimTime {
         self.0
     }
 
+    /// Nanoseconds since simulation start, as a float.
+    ///
+    /// The one sanctioned ns→float conversion: every report-side cast
+    /// goes through here so precision loss past 2^53 ns (~104 days of
+    /// simulated time) has a single audit point.
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64
+    }
+
     /// Microseconds since simulation start, as a float.
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1_000.0
@@ -147,6 +156,14 @@ impl SimDuration {
     /// The span in whole nanoseconds.
     pub const fn as_nanos(self) -> u64 {
         self.0
+    }
+
+    /// The span in whole nanoseconds, as a float.
+    ///
+    /// See [`SimTime::as_nanos_f64`]: the single sanctioned ns→float
+    /// conversion point for report-side math.
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64
     }
 
     /// The span in fractional microseconds.

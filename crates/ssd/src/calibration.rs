@@ -72,12 +72,12 @@ impl PerfProfile {
     pub fn p4510_2tb() -> Self {
         PerfProfile {
             name: "intel-p4510-2tb",
-            read_media_median: SimDuration::from_nanos(68_000),
-            seq_read_media_median: SimDuration::from_nanos(68_000),
+            read_media_median: SimDuration::from_us(68),
+            seq_read_media_median: SimDuration::from_us(68),
             read_sigma: 0.06,
             read_dies: 44,
             read_bw_bytes_per_sec: 3.23e9,
-            write_admit: SimDuration::from_nanos(2_000),
+            write_admit: SimDuration::from_us(2),
             write_jitter: 0.15,
             write_bw_bytes_per_sec: 1.43e9,
             flush_extra: SimDuration::from_us(400),
@@ -114,12 +114,12 @@ impl PerfProfile {
     pub fn gen4_fast() -> Self {
         PerfProfile {
             name: "gen4-fast",
-            read_media_median: SimDuration::from_nanos(55_000),
-            seq_read_media_median: SimDuration::from_nanos(55_000),
+            read_media_median: SimDuration::from_us(55),
+            seq_read_media_median: SimDuration::from_us(55),
             read_sigma: 0.06,
             read_dies: 96,
             read_bw_bytes_per_sec: 6.8e9,
-            write_admit: SimDuration::from_nanos(4_000),
+            write_admit: SimDuration::from_us(4),
             write_jitter: 0.15,
             write_bw_bytes_per_sec: 4.0e9,
             flush_extra: SimDuration::from_us(200),

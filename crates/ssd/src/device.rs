@@ -218,11 +218,7 @@ impl fmt::Debug for Ssd {
 impl Ssd {
     /// Creates a device from its configuration.
     pub fn new(cfg: SsdConfig) -> Self {
-        let ns = Namespace::from_bytes(
-            Nsid::new(1).expect("1 is valid"),
-            cfg.capacity_bytes,
-            cfg.block_size,
-        );
+        let ns = Namespace::from_bytes(Nsid::ONE, cfg.capacity_bytes, cfg.block_size);
         let mut rng = SimRng::seed_from(cfg.seed);
         let perf = PerfModel::new(cfg.profile.clone(), rng.fork(1));
         let store = BlockStore::new(

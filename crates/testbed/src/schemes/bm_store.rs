@@ -274,6 +274,7 @@ impl Scheme for BmStoreScheme {
                 let actions = self.engine.check_deadline(now, ssd, seq, ctx.host_mem);
                 self.actions_to_effects(actions)
             }
+            // bm-lint: allow(wildcard-arm): a scheme only receives stages it scheduled itself; a misrouted variant fails loudly here in every build
             other => unreachable!("bm-store scheme never schedules {other:?}"),
         }
     }

@@ -100,7 +100,7 @@ pub(crate) fn build<M: Mediator + 'static>(
         let vm = in_vm.then(|| VmState {
             irq_cpu: FifoServer::new(),
             costs: VfioCosts {
-                interrupt_delivery: SimDuration::from_nanos(4_000),
+                interrupt_delivery: SimDuration::from_us(4),
                 ..VfioCosts::paper_default()
             },
         });
@@ -240,6 +240,7 @@ impl<M: Mediator> Scheme for MediatedScheme<M> {
                     status,
                 }]
             }
+            // bm-lint: allow(wildcard-arm): a scheme only receives stages it scheduled itself; a misrouted variant fails loudly here in every build
             other => unreachable!("mediated scheme never schedules {other:?}"),
         }
     }

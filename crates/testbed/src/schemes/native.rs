@@ -113,6 +113,7 @@ impl Scheme for DirectScheme {
                     },
                 ]
             }
+            // bm-lint: allow(wildcard-arm): a scheme only receives stages it scheduled itself; a misrouted variant fails loudly here in every build
             other => unreachable!("direct scheme never schedules {other:?}"),
         }
     }

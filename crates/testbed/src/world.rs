@@ -191,9 +191,17 @@ impl Testbed {
         &self.cfg
     }
 
+    /// The scheme under test. The `Option` is a take/put-back cell for
+    /// the event hooks; between events it is always occupied, so this
+    /// is the single audited access point for that invariant.
+    pub(crate) fn scheme_ref(&self) -> &dyn Scheme {
+        // bm-lint: allow(panic-path): take/put-back invariant — the scheme is absent only inside with_scheme's borrow window, which cannot call back in here
+        self.scheme.as_deref().expect("scheme present")
+    }
+
     /// Name of the scheme under test.
     pub fn scheme_name(&self) -> &'static str {
-        self.scheme.as_ref().expect("scheme present").name()
+        self.scheme_ref().name()
     }
 
     /// Number of tenant devices.
@@ -216,6 +224,7 @@ impl Testbed {
     ///
     /// Panics if host memory is exhausted.
     pub fn register_buffer(&mut self, bytes: u64) -> BufferId {
+        // bm-lint: allow(panic-path): documented contract — registration is setup-time, before the clock starts; exhaustion here is a harness sizing bug
         let buf = self.host_mem.alloc(bytes).expect("buffer memory");
         let prp = PrpPair::build(&mut self.host_mem, buf, bytes);
         self.buffers.push(prp);
@@ -556,6 +565,7 @@ impl World {
     ///
     /// Panics if the id is invalid.
     pub fn client(&self, id: ClientId) -> &dyn Client {
+        // bm-lint: allow(panic-path): documented contract — the doc comment says "Panics if the id is invalid"; ids only come from add_client
         self.clients[id.0].as_deref().expect("client present")
     }
 
@@ -619,6 +629,7 @@ impl World {
 
     fn call_client(&mut self, s: &mut Scheduler<World>, id: ClientId, call: ClientCall) {
         let now = s.now();
+        // bm-lint: allow(panic-path): take/put-back invariant — the client is put back unconditionally below, and client hooks cannot re-enter here
         let mut client = self.clients[id.0].take().expect("client present");
         let out = match call {
             ClientCall::Start => client.start(now),
@@ -639,6 +650,7 @@ impl World {
     /// Runs `f` with the scheme taken out of the testbed, so hooks can
     /// borrow the scheme and the remaining testbed resources at once.
     fn with_scheme<R>(&mut self, f: impl FnOnce(&mut dyn Scheme, &mut SchemeCtx) -> R) -> R {
+        // bm-lint: allow(panic-path): take/put-back invariant — the scheme is put back unconditionally after the hook returns, and hooks cannot re-enter here
         let mut scheme = self.tb.scheme.take().expect("scheme present");
         let out = {
             let mut ctx = SchemeCtx {
@@ -678,12 +690,7 @@ impl World {
             debug_assert!(bytes <= prp.len, "buffer too small for request");
             (prp, bytes)
         };
-        let lba = self
-            .tb
-            .scheme
-            .as_ref()
-            .expect("scheme present")
-            .translate(req.dev, req.lba);
+        let lba = self.tb.scheme_ref().translate(req.dev, req.lba);
         let opcode = match req.op {
             IoOp::Read => IoOpcode::Read,
             IoOp::Write => IoOpcode::Write,
@@ -692,7 +699,7 @@ impl World {
         let sqe = Sqe::io(
             opcode,
             cid,
-            Nsid::new(1).expect("valid"),
+            Nsid::ONE,
             lba,
             req.blocks.max(1),
             prp.prp1,
@@ -701,6 +708,7 @@ impl World {
         let dev = &mut self.tb.devices[req.dev.0];
         dev.sq
             .push(&mut self.tb.host_mem, &sqe)
+            // bm-lint: allow(panic-path): config invariant — submit() gates on queue-depth credits, so the ring can never be full here
             .expect("ring sized above queue depth");
         dev.pending.insert(
             cid.0,
@@ -719,6 +727,7 @@ impl World {
         self.tb
             .telemetry
             .begin_command(now, req.dev.0 as u16, cid.0, sqe.opcode.code());
+        // bm-lint: allow(panic-path): take/put-back invariant — restored two lines below; submit cannot re-enter the testbed
         let mut scheme = self.tb.scheme.take().expect("scheme present");
         let effects = scheme.submit(now, req.dev, &sqe, &self.tb.kernel);
         self.tb.scheme = Some(scheme);
@@ -755,6 +764,7 @@ impl World {
                 }
                 self.with_scheme(|scheme, ctx| scheme.on_doorbell(now, dev, tail, ctx))
             }
+            // bm-lint: allow(wildcard-arm): delegation, not omission — every non-doorbell stage is routed to the scheme, whose own dispatcher is exhaustive
             other => self.with_scheme(|scheme, ctx| scheme.on_stage(now, other, ctx)),
         };
         self.apply_effects(s, effects);
@@ -785,13 +795,19 @@ impl World {
         match effect {
             Effect::ScheduleAt { at, stage } => {
                 // Doorbell MMIO writes cross the PCIe link; completions
-                // and internal engine timers do not.
+                // and internal engine timers do not. Every stage is
+                // named so adding one forces a link-crossing decision.
                 let at = match stage {
                     Stage::Doorbell { .. }
                     | Stage::Forward { .. }
                     | Stage::EngineDoorbell { .. }
                     | Stage::EngineBackendDoorbell { .. } => self.defer_past_retrain(s, at),
-                    _ => at,
+                    Stage::BackendComplete { .. }
+                    | Stage::GuestComplete { .. }
+                    | Stage::EngineBackendComplete { .. }
+                    | Stage::EngineHostCompletion { .. }
+                    | Stage::EngineQosWakeup
+                    | Stage::EngineDeadline { .. } => at,
                 };
                 s.schedule_at(at, move |w: &mut World, s| {
                     w.run_stage(s, stage);
@@ -1068,7 +1084,7 @@ impl World {
             let stats = ssd.service_stats();
             let (busy_key, ops_key) = &self.sampler_keys.ssd_service[i];
             handle.with(|m| {
-                m.sample_ref(now, busy_key, stats.busy.as_nanos() as f64);
+                m.sample_ref(now, busy_key, stats.busy.as_nanos_f64());
                 m.sample_ref(now, ops_key, stats.ops as f64);
             });
         }
@@ -1201,9 +1217,7 @@ impl World {
         let completed = if self.tb.cfg.apply_plug_factor {
             let real = now.saturating_since(pending.submitted);
             pending.submitted
-                + SimDuration::from_nanos(
-                    (real.as_nanos() as f64 * self.tb.kernel.plug_factor) as u64,
-                )
+                + SimDuration::from_nanos((real.as_nanos_f64() * self.tb.kernel.plug_factor) as u64)
         } else {
             now
         };
@@ -1361,8 +1375,10 @@ impl World {
     /// Panics if not running the BM-Store scheme.
     pub fn swap_ssd_hardware(&mut self, idx: usize) {
         let tb = &mut self.tb;
-        let scheme = tb.scheme.as_mut().expect("scheme present");
+        // bm-lint: allow(panic-path): same take/put-back invariant as scheme_mut(); field access kept so cfg stays borrowable alongside
+        let scheme = tb.scheme.as_deref_mut().expect("scheme present");
         let Some((engine, _)) = scheme.bm_parts() else {
+            // bm-lint: allow(panic-path): documented test-API precondition — the doc comment says "Panics if not running the BM-Store scheme"
             panic!("hot-plug swap requires the BM-Store scheme");
         };
         let cfg = SsdConfig::p4510_2tb(SsdId(idx as u8))

@@ -12,11 +12,22 @@ cargo build --release
 
 echo "==> bm-lint check (determinism & simulation-safety ratchet)"
 # Static analysis before the slow suites: wall-clock reads, hash-order
-# iteration, unseeded randomness, panic paths, stray output and wildcard
-# arms are all cheap to catch here and expensive to debug as a byte-diff
-# in the figure pipeline. Fails only if a bucket grows over
-# lint-baseline.toml.
-cargo run --release -q -p bm-lint -- check
+# iteration, unseeded randomness, panic paths, stray output, wildcard
+# arms, float determinism, time-unit mixups and shard-safety are all
+# cheap to catch here and expensive to debug as a byte-diff in the
+# figure pipeline. Fails only if a bucket grows over lint-baseline.toml.
+# The machine-readable report lands in target/lint-report.json (stable
+# schema, see DESIGN.md) for CI artifact upload; the analysis has a 10 s
+# wall-clock budget — slower than that and the "cheap to catch here"
+# premise is broken, so we warn loudly.
+lint_start=$(date +%s)
+cargo run --release -q -p bm-lint -- self-test
+cargo run --release -q -p bm-lint -- check --format json > target/lint-report.json
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "    bm-lint: ${lint_elapsed}s, report at target/lint-report.json"
+if [ "$lint_elapsed" -gt 10 ]; then
+    echo "WARNING: bm-lint took ${lint_elapsed}s (budget: 10s) — profile the scanner before it outgrows the preflight" >&2
+fi
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
