@@ -16,22 +16,46 @@
 //!   --baseline FILE         compare against FILE, exit 1 on violations
 //!   --write-baseline FILE   write the fresh report to FILE too
 //!                           (regenerating the committed baseline)
+//!   --profile               run each case with the bm-prof profiler on
+//!                           and attach its top event kinds (hot_kinds);
+//!                           informational, never gated
 
 use bm_bench::report::{compare, BenchCase, BenchReport, Tolerances};
 use bm_bench::{fmt_count, fmt_lat, header, quick, row, scaled};
 use bm_sim::metrics::names;
 use bm_sim::SimTime;
 use bm_testbed::{SchemeKind, TestbedConfig};
-use bm_workloads::fio::{aggregate, run_fio, FioSpec};
+use bm_workloads::fio::{aggregate, prepare_fio, FioSpec};
 
-fn run_case(name: &str, cfg: TestbedConfig, spec: FioSpec) -> BenchCase {
+fn run_case(name: &str, cfg: TestbedConfig, spec: FioSpec, profile: bool) -> BenchCase {
+    let mut cfg = cfg.with_metrics();
+    if profile {
+        cfg = cfg.with_profiler();
+    }
     let started = std::time::Instant::now();
-    let (results, world) = run_fio(cfg.with_metrics(), spec);
-    let wall = started.elapsed().as_secs_f64();
-    let events_per_sec = if wall > 0.0 {
-        world.events_fired as f64 / wall
+    let rig = prepare_fio(cfg, spec);
+    let setup_s = started.elapsed().as_secs_f64();
+    let run_started = std::time::Instant::now();
+    let (results, world) = rig.run();
+    let run_s = run_started.elapsed().as_secs_f64();
+    let events_per_sec = if run_s > 0.0 {
+        world.events_fired as f64 / run_s
     } else {
         0.0
+    };
+    let hot_kinds = if profile {
+        let snap = world.tb.profiler().snapshot().unwrap_or_default();
+        let total = snap.total_run_ns.max(1) as f64;
+        let mut ranked: Vec<(String, f64)> = snap
+            .scopes
+            .iter()
+            .map(|s| (s.key(), s.self_ns as f64 / total))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(5);
+        ranked
+    } else {
+        Vec::new()
     };
     let agg = aggregate(&results);
     let (stages, saturated, peak_qd) = world
@@ -66,39 +90,47 @@ fn run_case(name: &str, cfg: TestbedConfig, spec: FioSpec) -> BenchCase {
         peak_event_queue: world.peak_event_queue as f64,
         saturated_stage: saturated,
         stages,
+        setup_s,
+        run_s,
+        hot_kinds,
     }
 }
 
-fn build_report() -> BenchReport {
+fn build_report(profile: bool) -> BenchReport {
     let cases = vec![
         run_case(
             "fig08-bare-metal-rand-r-128",
             TestbedConfig::bm_store_bare_metal(1),
             scaled(FioSpec::rand_r_128()),
+            profile,
         ),
         run_case(
             "fig08-bare-metal-rand-w-16",
             TestbedConfig::bm_store_bare_metal(1),
             scaled(FioSpec::rand_w_16()),
+            profile,
         ),
         run_case(
             "fig09-single-vm-rand-r-128",
             TestbedConfig::single_vm(SchemeKind::BmStore { in_vm: true }),
             scaled(FioSpec::rand_r_128()),
+            profile,
         ),
         run_case(
             "fig10-4ssd-seq-r-256",
             TestbedConfig::bm_store_bare_metal(4),
             scaled(FioSpec::seq_r_256()),
+            profile,
         ),
         run_case(
             "fig12-multi-vm-rand-r-128",
             TestbedConfig::multi_vm_bm_store(4),
             scaled(FioSpec::rand_r_128()),
+            profile,
         ),
     ];
     BenchReport {
-        schema: 2,
+        schema: 3,
         quick: quick(),
         cases,
     }
@@ -116,8 +148,9 @@ fn main() {
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_BMSTORE.json".to_string());
     let baseline_path = arg_value(&args, "--baseline");
     let write_baseline = arg_value(&args, "--write-baseline");
+    let profile = args.iter().any(|a| a == "--profile");
 
-    let report = build_report();
+    let report = build_report(profile);
 
     header(
         "bench_report: BM-Store envelope",
@@ -135,6 +168,18 @@ fn main() {
                 c.saturated_stage.clone(),
             ],
         );
+    }
+    if profile {
+        println!("\nhot kinds (bm-prof self-time fraction of dispatch total):");
+        for c in &report.cases {
+            let line = c
+                .hot_kinds
+                .iter()
+                .map(|(k, f)| format!("{k} {:.1}%", f * 100.0))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("  {:<28} {line}", c.name);
+        }
     }
 
     let json = report.to_json();

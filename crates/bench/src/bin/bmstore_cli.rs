@@ -43,6 +43,21 @@
 //! byte-identical incident reports, the report parses, and tenant 0's
 //! blame profile names the stalled stage.
 //!
+//! The `prof` subcommand runs the fig. 8 bare-metal BM-Store case with
+//! the `bm-prof` wall-clock self-profiler and the counting allocator
+//! armed, printing the top-k self-time table:
+//!
+//! ```text
+//! bmstore-cli prof [--quick] [--seed N] [--top K]
+//!                  [--folded FILE] [--json FILE] [--smoke]
+//! ```
+//!
+//! `--folded` writes flamegraph.pl-compatible folded stacks; `--json`
+//! writes the stable-schema report. `--smoke` is the CI gate: it runs
+//! the case profiler-off and profiler-on, exits non-zero unless the
+//! figure output is byte-identical, both export formats parse, and the
+//! attributed self-time sums to the measured dispatch total.
+//!
 //! Example: the paper's rand-r-128 on BM-Store with a 50 K IOPS cap:
 //!
 //! ```bash
@@ -492,6 +507,203 @@ fn slo_main(mut it: std::env::Args) -> ! {
     exit(0)
 }
 
+// ---------------------------------------------------------------------
+// prof: the bm-prof self-profiler over the fig. 8 BM-Store case
+// ---------------------------------------------------------------------
+
+/// Counting allocator so `prof` runs attribute allocations to profile
+/// scopes. Disarmed (the default) it is a thread-local bool check per
+/// allocation; the other subcommands never arm it.
+#[global_allocator]
+static ALLOCATOR: bm_prof::alloc::CountingAlloc = bm_prof::alloc::CountingAlloc;
+
+fn prof_usage() -> ! {
+    eprintln!(
+        "usage: bmstore-cli prof [--quick] [--seed N] [--top K]\n\
+         \x20                       [--folded FILE] [--json FILE] [--smoke]"
+    );
+    exit(2)
+}
+
+/// Renders every figure-relevant number of the fig. 8 case to a
+/// canonical string (exact f64 bit patterns) so profiler-on and
+/// profiler-off runs can be byte-compared.
+fn prof_figures(results: &[bm_workloads::fio::FioResult], events_fired: u64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "events {events_fired}");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "dev{i} ops {} iops {:016x} bw {:016x} p50 {} p99 {} p999 {} avg {}",
+            r.ops,
+            r.iops.to_bits(),
+            r.bandwidth_mbps.to_bits(),
+            r.p50.as_nanos(),
+            r.p99.as_nanos(),
+            r.p999.as_nanos(),
+            r.avg_latency.as_nanos(),
+        );
+    }
+    s
+}
+
+/// Runs one BM-Store figure case, optionally profiled. Returns the
+/// canonical figure rendering and the profile snapshot.
+fn prof_run(cfg: TestbedConfig, profiler: bool) -> (String, Option<bm_prof::Snapshot>) {
+    let cfg = if profiler { cfg.with_profiler() } else { cfg };
+    let spec = bm_bench::scaled(FioSpec::rand_r_128());
+    let (results, world) = run_fio(cfg, spec);
+    let figures = prof_figures(&results, world.events_fired);
+    let snap = world.tb.profiler().snapshot();
+    (figures, snap)
+}
+
+/// The fig. 8 bare-metal rand-r-128 case — what `prof` profiles.
+fn prof_case(seed: u64, profiler: bool) -> (String, Option<bm_prof::Snapshot>) {
+    prof_run(
+        TestbedConfig::bm_store_bare_metal(1).with_seed(seed),
+        profiler,
+    )
+}
+
+type SmokeCfgFn = fn(u64) -> TestbedConfig;
+
+fn prof_smoke(seed: u64) -> ! {
+    let mut failures = Vec::new();
+
+    // Byte-identity across the fig. 8/9/12 BM-Store configurations:
+    // the profiler must be invisible in every figure the paper pipeline
+    // produces, not just the single-disk bare-metal case.
+    let smoke_cases: &[(&str, SmokeCfgFn)] = &[
+        ("fig08 bare-metal", |s| {
+            TestbedConfig::bm_store_bare_metal(1).with_seed(s)
+        }),
+        ("fig09 single-vm", |s| {
+            TestbedConfig::single_vm(SchemeKind::BmStore { in_vm: true }).with_seed(s)
+        }),
+        ("fig12 multi-vm", |s| {
+            TestbedConfig::multi_vm_bm_store(4).with_seed(s)
+        }),
+    ];
+    for (label, make_cfg) in smoke_cases {
+        let (fig_off, snap_off) = prof_run(make_cfg(seed), false);
+        if snap_off.is_some() {
+            failures.push(format!(
+                "{label}: profiler-off run unexpectedly produced a snapshot"
+            ));
+        }
+        let (fig_on, _) = prof_run(make_cfg(seed), true);
+        if fig_on != fig_off {
+            failures.push(format!(
+                "{label}: figures differ with profiler enabled:\n\
+                 --- off ---\n{fig_off}--- on ---\n{fig_on}"
+            ));
+        }
+    }
+
+    bm_prof::alloc::arm();
+    let (_, snap_on) = prof_case(seed, true);
+    bm_prof::alloc::disarm();
+
+    match snap_on {
+        None => failures.push("profiler-on run produced no snapshot".to_string()),
+        Some(snap) => {
+            if snap.scopes.is_empty() {
+                failures.push("snapshot has no scopes".to_string());
+            }
+            let folded = bm_prof::report::folded(&snap);
+            for (i, line) in folded.lines().enumerate() {
+                let ok = line
+                    .rsplit_once(' ')
+                    .is_some_and(|(key, ns)| !key.is_empty() && ns.parse::<u64>().is_ok());
+                if !ok {
+                    failures.push(format!("folded line {} malformed: {line:?}", i + 1));
+                    break;
+                }
+            }
+            let json = bm_prof::report::render_json(&snap);
+            match bm_prof::report::parse_json(&json) {
+                Ok(p) => {
+                    // Scaling makes the folded self-ns sum track the
+                    // measured dispatch total; 10% is the gate.
+                    let total = p.total_run_ns;
+                    let sum = p.self_ns_sum;
+                    if total > 0 && sum.abs_diff(total) > total / 10 {
+                        failures.push(format!(
+                            "folded self-ns sum {sum} not within 10% of \
+                             measured dispatch total {total}"
+                        ));
+                    }
+                }
+                Err(e) => failures.push(format!("JSON report does not parse: {e}")),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "prof smoke OK: figures byte-identical with profiler on, \
+             folded + JSON reports parse, self-ns sums to the dispatch total"
+        );
+        exit(0)
+    }
+    for f in &failures {
+        eprintln!("prof smoke FAILED: {f}");
+    }
+    exit(1)
+}
+
+fn prof_main(mut it: std::env::Args) -> ! {
+    let mut smoke = false;
+    let mut seed = 42u64;
+    let mut top = 12usize;
+    let mut folded_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| prof_usage());
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--quick" => {} // observed by bm_bench::quick() via env::args
+            "--seed" => seed = value().parse().unwrap_or_else(|_| prof_usage()),
+            "--top" => top = value().parse().unwrap_or_else(|_| prof_usage()),
+            "--folded" => folded_out = Some(value()),
+            "--json" => json_out = Some(value()),
+            _ => prof_usage(),
+        }
+    }
+    if smoke {
+        prof_smoke(seed);
+    }
+
+    bm_prof::alloc::arm();
+    let (figures, snap) = prof_case(seed, true);
+    bm_prof::alloc::disarm();
+    let Some(snap) = snap else {
+        eprintln!("prof: profiled run produced no snapshot");
+        exit(2)
+    };
+
+    println!("fig. 8 bare-metal rand-r-128, profiled (seed {seed}):");
+    print!("{figures}");
+    print!("{}", bm_prof::report::top_table(&snap, top));
+    if let Some(path) = folded_out {
+        if let Err(e) = std::fs::write(&path, bm_prof::report::folded(&snap)) {
+            eprintln!("cannot write {path}: {e}");
+            exit(2);
+        }
+        println!("folded stacks written to {path} (flamegraph.pl-compatible)");
+    }
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, bm_prof::report::render_json(&snap)) {
+            eprintln!("cannot write {path}: {e}");
+            exit(2);
+        }
+        println!("JSON report written to {path}");
+    }
+    exit(0)
+}
+
 fn main() {
     {
         let mut it = std::env::args();
@@ -499,6 +711,7 @@ fn main() {
         match it.next().as_deref() {
             Some("chaos") => chaos_main(it),
             Some("slo") => slo_main(it),
+            Some("prof") => prof_main(it),
             _ => {}
         }
     }

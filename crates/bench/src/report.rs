@@ -43,6 +43,17 @@ pub struct BenchCase {
     pub saturated_stage: String,
     /// Per-stage occupancy (busy time / elapsed), profiler order.
     pub stages: Vec<(String, f64)>,
+    /// Host wall-clock seconds spent building the testbed and wiring
+    /// jobs, before the first event fires. Informational: [`compare`]
+    /// never gates on it (wall-clock, machine-dependent).
+    pub setup_s: f64,
+    /// Host wall-clock seconds spent inside the event loop.
+    /// Informational, like [`BenchCase::setup_s`].
+    pub run_s: f64,
+    /// With `--profile`: the bm-prof top event kinds by attributed
+    /// self-time fraction of the dispatch total, `(key, fraction)`.
+    /// Empty without `--profile`. Informational; never gated.
+    pub hot_kinds: Vec<(String, f64)>,
 }
 
 /// A full report: schema version, run mode, and the cases.
@@ -143,6 +154,10 @@ impl BenchReport {
             json_num(c.events_per_sec, &mut s);
             s.push_str(",\n      \"peak_event_queue\": ");
             json_num(c.peak_event_queue, &mut s);
+            s.push_str(",\n      \"setup_s\": ");
+            json_num(c.setup_s, &mut s);
+            s.push_str(",\n      \"run_s\": ");
+            json_num(c.run_s, &mut s);
             s.push_str(",\n      \"saturated_stage\": ");
             json_escape(&c.saturated_stage, &mut s);
             s.push_str(",\n      \"stages\": [");
@@ -154,6 +169,17 @@ impl BenchReport {
                 json_escape(name, &mut s);
                 s.push_str(", \"occupancy\": ");
                 json_num(*occ, &mut s);
+                s.push('}');
+            }
+            s.push_str("],\n      \"hot_kinds\": [");
+            for (j, (key, frac)) in c.hot_kinds.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str("{\"kind\": ");
+                json_escape(key, &mut s);
+                s.push_str(", \"fraction\": ");
+                json_num(*frac, &mut s);
                 s.push('}');
             }
             s.push_str("]\n    }");
@@ -194,6 +220,27 @@ impl BenchReport {
                     so.field("occupancy", "stage")?.as_f64("occupancy")?,
                 ));
             }
+            // Schema-3 additions parse optionally so a schema-2 file is
+            // still structurally readable (compare() reports the schema
+            // mismatch instead of from_json dying on a missing key).
+            let setup_s = match c.iter().find(|(k, _)| k == "setup_s") {
+                Some((_, v)) => v.as_f64("setup_s")?,
+                None => 0.0,
+            };
+            let run_s = match c.iter().find(|(k, _)| k == "run_s") {
+                Some((_, v)) => v.as_f64("run_s")?,
+                None => 0.0,
+            };
+            let mut hot_kinds = Vec::new();
+            if let Some((_, v)) = c.iter().find(|(k, _)| k == "hot_kinds") {
+                for hv in v.as_array("hot_kinds")? {
+                    let ho = hv.as_object("hot_kind")?;
+                    hot_kinds.push((
+                        ho.field("kind", "hot_kind")?.as_str("kind")?.to_string(),
+                        ho.field("fraction", "hot_kind")?.as_f64("fraction")?,
+                    ));
+                }
+            }
             cases.push(BenchCase {
                 name: c.field("name", "case")?.as_str("name")?.to_string(),
                 iops: c.field("iops", "case")?.as_f64("iops")?,
@@ -216,6 +263,9 @@ impl BenchReport {
                     .as_str("saturated_stage")?
                     .to_string(),
                 stages,
+                setup_s,
+                run_s,
+                hot_kinds,
             });
         }
         Ok(BenchReport {
@@ -614,7 +664,7 @@ mod tests {
 
     fn sample() -> BenchReport {
         BenchReport {
-            schema: 2,
+            schema: 3,
             quick: true,
             cases: vec![
                 BenchCase {
@@ -628,6 +678,9 @@ mod tests {
                     peak_event_queue: 260.0,
                     saturated_stage: "ssd".into(),
                     stages: vec![("ssd".into(), 112.4), ("front_end".into(), 0.11)],
+                    setup_s: 0.012,
+                    run_s: 1.875,
+                    hot_kinds: vec![("ssd:doorbell".into(), 0.41), ("deliver".into(), 0.22)],
                 },
                 BenchCase {
                     name: "fig12-multivm".into(),
@@ -640,6 +693,9 @@ mod tests {
                     peak_event_queue: 16.0,
                     saturated_stage: String::new(),
                     stages: vec![],
+                    setup_s: 0.0,
+                    run_s: 0.25,
+                    hot_kinds: vec![],
                 },
             ],
         }
@@ -664,6 +720,26 @@ mod tests {
         assert_eq!(r.cases[0].name, "a\"bA");
         assert_eq!(r.cases[0].iops, 1000.0);
         assert_eq!(r.cases[0].bandwidth_mbps, -2.5);
+    }
+
+    #[test]
+    fn schema2_report_without_new_fields_still_parses() {
+        // A committed schema-2 baseline lacks setup_s/run_s/hot_kinds;
+        // from_json must default them so compare() can report the
+        // schema mismatch rather than a parse failure.
+        let text = "{ \"schema\": 2, \"quick\": true, \"cases\": [ {\n\
+                    \"name\": \"old\", \"iops\": 5, \"bandwidth_mbps\": 1,\n\
+                    \"p50_us\": 2, \"p99_us\": 3, \"peak_queue_depth\": 4,\n\
+                    \"events_per_sec\": 6, \"peak_event_queue\": 7,\n\
+                    \"saturated_stage\": \"\", \"stages\": [] } ] }";
+        let r = BenchReport::from_json(text).expect("old schema parses");
+        assert_eq!(r.schema, 2);
+        assert_eq!(r.cases[0].setup_s, 0.0);
+        assert_eq!(r.cases[0].run_s, 0.0);
+        assert!(r.cases[0].hot_kinds.is_empty());
+        let current = sample();
+        let violations = compare(&current, &r, Tolerances::default());
+        assert!(violations.iter().any(|v| v.contains("schema mismatch")));
     }
 
     #[test]

@@ -14,11 +14,21 @@ fn committed_baseline() -> BenchReport {
 #[test]
 fn committed_baseline_parses_and_roundtrips() {
     let baseline = committed_baseline();
-    assert_eq!(baseline.schema, 2);
+    assert_eq!(baseline.schema, 3);
     assert!(baseline.quick, "the committed baseline is a --quick run");
     assert_eq!(baseline.cases.len(), 5);
     for case in &baseline.cases {
         assert!(case.iops > 0.0, "{}: iops must be positive", case.name);
+        assert!(
+            case.run_s > 0.0,
+            "{}: run_s (event-loop wall time) must be positive",
+            case.name
+        );
+        assert!(
+            case.hot_kinds.is_empty(),
+            "{}: the committed baseline is generated without --profile",
+            case.name
+        );
         assert!(case.p99_us >= case.p50_us, "{}: p99 < p50", case.name);
         assert!(
             case.events_per_sec > 0.0,

@@ -14,7 +14,7 @@
 //!
 //! | id | rule |
 //! |----|------|
-//! | `wall-clock`         | no `Instant::now`/`SystemTime` outside `compat`/`bench` |
+//! | `wall-clock`         | no `Instant::now`/`SystemTime` outside `compat`/`bench`/`prof` |
 //! | `iter-order`         | no `HashMap`/`HashSet` in sim-critical crates |
 //! | `unseeded-rng`       | no `thread_rng`/`rand::random`/`OsRng` outside `compat` |
 //! | `panic-path`         | no `unwrap`/`expect`/`panic!` in sim-critical library code |

@@ -92,8 +92,10 @@ impl Rule {
                  latency computed from it diverges from the seed-replay: two runs with \
                  the same seed produce different event orders and different figures. \
                  All time must come from `bm_sim::SimTime` handed down by the scheduler. \
-                 Exempt: `crates/compat` (vendored benchmarking shims) and `crates/bench` \
-                 (host-side harness reporting)."
+                 Exempt: `crates/compat` (vendored benchmarking shims), `crates/bench` \
+                 (host-side harness reporting) and `crates/prof` (the wall-clock \
+                 self-profiler — its `monotonic_ns()` is the sanctioned audit point; \
+                 sim crates must never feed its readings back into scheduling)."
             }
             Rule::IterOrder => {
                 "R2 iter-order: `HashMap`/`HashSet` iteration order depends on \
@@ -251,7 +253,9 @@ impl std::fmt::Display for Violation {
 /// test-region exclusion is handled separately.
 fn applies(rule: Rule, ctx: &FileCtx) -> bool {
     match rule {
-        Rule::WallClock => ctx.crate_id != "compat" && ctx.crate_id != "bench",
+        Rule::WallClock => {
+            ctx.crate_id != "compat" && ctx.crate_id != "bench" && ctx.crate_id != "prof"
+        }
         Rule::IterOrder => ctx.sim_critical() && matches!(ctx.kind, FileKind::Lib | FileKind::Bin),
         Rule::UnseededRng => ctx.crate_id != "compat",
         Rule::PanicPath => ctx.sim_critical() && ctx.kind == FileKind::Lib,

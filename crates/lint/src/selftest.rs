@@ -143,6 +143,14 @@ pub const CASES: &[Case] = &[
         companions: &[],
         expected: &[("wall-clock", 4, true)],
     },
+    // The same clock-reading source is clean inside the sanctioned
+    // wall-clock profiler crate (bm-prof exemption, like compat/bench).
+    Case {
+        file: "wall_clock_bad.rs",
+        crate_id: "prof",
+        companions: &[],
+        expected: &[],
+    },
     Case {
         file: "iter_order_bad.rs",
         crate_id: "ssd",

@@ -130,6 +130,12 @@ pub struct TestbedConfig {
     /// is inert; setting it implies `metrics` (alerts are recorded as
     /// metric annotations).
     pub slo: Option<SloConfig>,
+    /// Enables the wall-clock self-profiler (`bm-prof`): scoped timers
+    /// around event dispatch, allocation attribution, and the
+    /// events/sec sampler. Read-only with respect to the simulation —
+    /// profiler-on runs are byte-identical to profiler-off runs (the
+    /// property `bmstore_cli prof --smoke` gates on).
+    pub profiler: bool,
 }
 
 impl TestbedConfig {
@@ -155,6 +161,7 @@ impl TestbedConfig {
             metrics: false,
             metrics_interval: SimDuration::from_us(20),
             slo: None,
+            profiler: false,
         }
     }
 
@@ -243,6 +250,13 @@ impl TestbedConfig {
     pub fn with_slo(mut self, slo: SloConfig) -> Self {
         self.metrics = true;
         self.slo = Some(slo);
+        self
+    }
+
+    /// Enables the wall-clock self-profiler (see
+    /// [`TestbedConfig::profiler`]).
+    pub fn with_profiler(mut self) -> Self {
+        self.profiler = true;
         self
     }
 }

@@ -35,6 +35,7 @@ use bm_nvme::types::{Cid, Nsid};
 use bm_nvme::Status;
 use bm_pcie::mctp::Eid;
 use bm_pcie::{HostMemory, PciAddr};
+use bm_prof::ProfHandle;
 use bm_sim::faults::FaultKind;
 use bm_sim::metrics::{names as metric_names, MetricKey, MetricsHandle};
 use bm_sim::resource::FifoServer;
@@ -118,6 +119,7 @@ pub struct Testbed {
     buffers: Vec<PrpPair>,
     telemetry: TelemetryHandle,
     metrics: MetricsHandle,
+    prof: ProfHandle,
     #[allow(dead_code)]
     rng: SimRng,
 }
@@ -153,6 +155,11 @@ impl Testbed {
         } else {
             MetricsHandle::disabled()
         };
+        let prof = if cfg.profiler {
+            ProfHandle::enabled()
+        } else {
+            ProfHandle::disabled()
+        };
         let scheme = {
             let mut ctx = BuildCtx {
                 cfg: &cfg,
@@ -178,6 +185,7 @@ impl Testbed {
             buffers: Vec::new(),
             telemetry,
             metrics,
+            prof,
             rng: rng.fork(0xBEEF),
             host_mem,
             cpu,
@@ -250,6 +258,12 @@ impl Testbed {
     /// `metrics` flag was set).
     pub fn metrics(&self) -> &MetricsHandle {
         &self.metrics
+    }
+
+    /// The wall-clock self-profiler handle (disabled unless the
+    /// config's `profiler` flag was set).
+    pub fn profiler(&self) -> &ProfHandle {
+        &self.prof
     }
 
     /// Access to the BMS-Engine when running the BM-Store scheme.
@@ -355,6 +369,38 @@ struct SamplerPortKeys {
     forwarded: MetricKey,
     completed: MetricKey,
     abandoned: MetricKey,
+}
+
+/// Profile segment for one dispatched pipeline stage. Exhaustive on
+/// purpose: adding a [`Stage`] variant forces a naming decision here,
+/// so the profiler's key set stays in lockstep with the pipeline.
+fn stage_seg(stage: &Stage) -> &'static str {
+    match stage {
+        Stage::Doorbell { .. } => "stage:Doorbell",
+        Stage::Forward { .. } => "stage:Forward",
+        Stage::BackendComplete { .. } => "stage:BackendComplete",
+        Stage::GuestComplete { .. } => "stage:GuestComplete",
+        Stage::EngineDoorbell { .. } => "stage:EngineDoorbell",
+        Stage::EngineBackendDoorbell { .. } => "stage:EngineBackendDoorbell",
+        Stage::EngineBackendComplete { .. } => "stage:EngineBackendComplete",
+        Stage::EngineHostCompletion { .. } => "stage:EngineHostCompletion",
+        Stage::EngineQosWakeup => "stage:EngineQosWakeup",
+        Stage::EngineDeadline { .. } => "stage:EngineDeadline",
+    }
+}
+
+/// Profile segment for one interpreted scheme effect; exhaustive for
+/// the same reason as [`stage_seg`].
+fn effect_seg(effect: &Effect) -> &'static str {
+    match effect {
+        Effect::ScheduleAt { .. } => "fx:ScheduleAt",
+        Effect::ForwardToSsd { .. } => "fx:ForwardToSsd",
+        Effect::RaiseInterrupt { .. } => "fx:RaiseInterrupt",
+        Effect::ChargeCpu { .. } => "fx:ChargeCpu",
+        Effect::CompleteToClient { .. } => "fx:CompleteToClient",
+        Effect::Trace { .. } => "fx:Trace",
+        Effect::FaultTrace { .. } => "fx:FaultTrace",
+    }
 }
 
 /// The world: testbed + clients, driven by [`World::run`].
@@ -484,7 +530,11 @@ impl World {
             });
         }
         for (at, f) in raw {
-            sim.schedule_at(at, f);
+            sim.schedule_at(at, move |w: &mut World, s| {
+                w.tb.prof.enter("action");
+                f(w, s);
+                w.tb.prof.exit();
+            });
         }
         if sim.world().tb.metrics.is_enabled() {
             let interval = sim.world().tb.cfg.metrics_interval;
@@ -492,12 +542,35 @@ impl World {
                 w.sample_metrics(s, interval);
             });
         }
-        match deadline {
-            Some(t) => {
-                sim.run_until(t);
+        if sim.world().tb.prof.is_enabled() {
+            // Profiled run: drive the scheduler one event at a time so
+            // the profiler sees each retirement. `step`/`step_until`
+            // replicate `run_until_idle`/`run_until` exactly (same pop
+            // order, same deadline clamp), so event execution — and
+            // therefore every figure — is byte-identical to the fast
+            // path below; the profiler only reads the host clock.
+            let prof = sim.world().tb.prof.clone();
+            prof.run_begin();
+            loop {
+                let fired = match deadline {
+                    Some(t) => sim.step_until(t),
+                    None => sim.step(),
+                };
+                if !fired {
+                    break;
+                }
+                let sched = sim.scheduler_mut();
+                prof.on_event_retired(sched.events_fired(), sched.arena_slots());
             }
-            None => {
-                sim.run_until_idle();
+            prof.run_end();
+        } else {
+            match deadline {
+                Some(t) => {
+                    sim.run_until(t);
+                }
+                None => {
+                    sim.run_until_idle();
+                }
             }
         }
         let (fired, peak, clamped, arena) = {
@@ -629,6 +702,11 @@ impl World {
 
     fn call_client(&mut self, s: &mut Scheduler<World>, id: ClientId, call: ClientCall) {
         let now = s.now();
+        self.tb.prof.enter(match &call {
+            ClientCall::Start => "client:start",
+            ClientCall::Completion(_) => "client:completion",
+            ClientCall::Timer => "client:timer",
+        });
         // bm-lint: allow(panic-path): take/put-back invariant — the client is put back unconditionally below, and client hooks cannot re-enter here
         let mut client = self.clients[id.0].take().expect("client present");
         let out = match call {
@@ -645,6 +723,7 @@ impl World {
                 w.call_client(s, id, ClientCall::Timer);
             });
         }
+        self.tb.prof.exit();
     }
 
     /// Runs `f` with the scheme taken out of the testbed, so hooks can
@@ -675,6 +754,7 @@ impl World {
 
     fn do_submit(&mut self, s: &mut Scheduler<World>, client: ClientId, req: IoRequest, cid: Cid) {
         let now = s.now();
+        self.tb.prof.enter("submit");
         let (prp, bytes) = if req.op == IoOp::Flush {
             (
                 PrpPair {
@@ -732,11 +812,13 @@ impl World {
         let effects = scheme.submit(now, req.dev, &sqe, &self.tb.kernel);
         self.tb.scheme = Some(scheme);
         self.apply_effects(s, effects);
+        self.tb.prof.exit();
     }
 
     /// Dispatches a pipeline continuation back into the scheme.
     fn run_stage(&mut self, s: &mut Scheduler<World>, stage: Stage) {
         let now = s.now();
+        self.tb.prof.enter(stage_seg(&stage));
         let effects = match stage {
             Stage::Doorbell { dev, cid } => {
                 let tail = self.tb.devices[dev.0].sq.tail() as u32;
@@ -768,6 +850,7 @@ impl World {
             other => self.with_scheme(|scheme, ctx| scheme.on_stage(now, other, ctx)),
         };
         self.apply_effects(s, effects);
+        self.tb.prof.exit();
     }
 
     fn apply_effects(&mut self, s: &mut Scheduler<World>, effects: Vec<Effect>) {
@@ -792,6 +875,7 @@ impl World {
 
     /// The generic interpreter: one typed effect, one event-loop rule.
     fn apply_effect(&mut self, s: &mut Scheduler<World>, effect: Effect) {
+        self.tb.prof.enter(effect_seg(&effect));
         match effect {
             Effect::ScheduleAt { at, stage } => {
                 // Doorbell MMIO writes cross the PCIe link; completions
@@ -816,6 +900,7 @@ impl World {
             Effect::ForwardToSsd { at, ssd, qid, tail } => {
                 let at = self.defer_past_retrain(s, at);
                 s.schedule_at(at, move |w: &mut World, s| {
+                    w.tb.prof.enter("ssd:doorbell");
                     let completions =
                         w.tb.ssds[ssd].ring_sq_doorbell(s.now(), qid, tail, &mut w.tb.host_mem);
                     for io in completions {
@@ -824,6 +909,7 @@ impl World {
                             w.run_stage(s, Stage::BackendComplete { ssd, io });
                         });
                     }
+                    w.tb.prof.exit();
                 });
             }
             Effect::RaiseInterrupt {
@@ -851,17 +937,21 @@ impl World {
                 status,
             } => {
                 s.schedule_at(at, move |w: &mut World, s| {
+                    w.tb.prof.enter("deliver");
                     w.deliver_to_client(s, dev, cid, status);
+                    w.tb.prof.exit();
                 });
             }
             Effect::Trace { stage, dev, cid } => self.observe(s.now(), stage, dev, cid),
             Effect::FaultTrace { event } => self.observe_fault(s.now(), &event),
         }
+        self.tb.prof.exit();
     }
 
     /// Injects one scheduled fault into its target layer.
     fn apply_fault(&mut self, s: &mut Scheduler<World>, kind: FaultKind) {
         let now = s.now();
+        let _scope = self.tb.prof.scope("fault");
         match kind {
             FaultKind::SsdLatencySpike { ssd, extra, until } => {
                 if let Some(dev) = self.tb.ssds.get_mut(ssd) {
@@ -954,6 +1044,7 @@ impl World {
     /// forever.
     fn sample_metrics(&mut self, s: &mut Scheduler<World>, interval: SimDuration) {
         let now = s.now();
+        let _scope = self.tb.prof.scope("sampler");
         self.record_scheduler_sample(now, s);
         self.record_metric_sample(now);
         self.evaluate_slo(now);
@@ -1138,6 +1229,7 @@ impl World {
         status: Status,
     ) {
         let now = s.now();
+        self.tb.prof.enter("notify");
         let (cid, status, head) = {
             let dev = &mut self.tb.devices[dev_id.0];
             let polled = dev.cq.poll(&mut self.tb.host_mem);
@@ -1153,6 +1245,7 @@ impl World {
                 status,
             },
         );
+        self.tb.prof.exit();
     }
 
     /// Completion-side stack latency: guest IRQ vCPU or host softirq.
@@ -1252,6 +1345,7 @@ impl World {
     /// the command exactly-once.
     fn do_management(&mut self, s: &mut Scheduler<World>, cmd: BmsCommand) {
         let now = s.now();
+        let _scope = self.tb.prof.scope("mgmt");
         self.next_mgmt_tag = (self.next_mgmt_tag + 1) % 8;
         let tag = self.next_mgmt_tag;
         const MAX_RETRANSMITS: u32 = 3;

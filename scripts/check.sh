@@ -69,6 +69,15 @@ echo "==> SLO smoke (release)"
 # and blame the stalled backend stage in tenant 0's critical path.
 cargo run --release -q -p bm-bench --bin bmstore_cli -- slo --smoke
 
+echo "==> prof smoke (release, --quick)"
+# The self-profiling contract: bm-prof is read-only with respect to the
+# simulation. The fig08 BM-Store case must produce byte-identical
+# figures with the profiler on, both export formats (folded stacks,
+# JSON report) must parse, and the attributed per-scope self-time must
+# sum to the measured dispatch total (the stride-sampling
+# normalization invariant).
+cargo run --release -q -p bm-bench --bin bmstore_cli -- prof --smoke --quick
+
 echo "==> bench report regression gate (release, --quick)"
 # The performance contract: the fig08/09/10/12 BM-Store envelope
 # (throughput, p50/p99, peak queue depth, saturated stage) must stay

@@ -11,6 +11,7 @@ pub use bm_chaos as chaos;
 pub use bm_host as host;
 pub use bm_nvme as nvme;
 pub use bm_pcie as pcie;
+pub use bm_prof as prof;
 pub use bm_sim as sim;
 pub use bm_ssd as ssd;
 pub use bm_testbed as testbed;

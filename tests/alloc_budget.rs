@@ -1,6 +1,7 @@
 //! Allocation budget for the event-loop hot path.
 //!
-//! Two claims, measured with a counting global allocator:
+//! Two claims, measured with `bm-prof`'s counting global allocator
+//! (the same one the profiler uses for per-scope attribution):
 //!
 //! 1. Pure scheduler churn — non-capturing (zero-sized) actions being
 //!    scheduled and fired in steady state — performs **zero** heap
@@ -17,75 +18,17 @@
 //! other runtime thread) waking up mid-window therefore cannot register
 //! as a false positive, so the windows need no retries.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
 
+use bmstore::prof::alloc::{self, CountingAlloc};
 use bmstore::sim::stats::IoStats;
 use bmstore::sim::{SimDuration, SimTime, Simulation};
 use bmstore::testbed::{Testbed, TestbedConfig, World};
 use bmstore::workloads::fio::{FioJob, FioSpec};
 
-/// Counts allocation events (alloc/realloc/alloc_zeroed) made by the
-/// thread that called [`arm_counting`]; frees and other threads'
-/// allocations are irrelevant to the budget.
-struct CountingAlloc;
-
-static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    /// Armed only on the test thread. `const` init keeps first access
-    /// allocation-free, so reading it inside the allocator is safe.
-    static COUNTING: Cell<bool> = const { Cell::new(false) };
-}
-
-/// Whether the current thread is the one under measurement. `try_with`
-/// because the allocator can be called during thread teardown, after
-/// the TLS slot is gone.
-fn counting_here() -> bool {
-    COUNTING.try_with(Cell::get).unwrap_or(false)
-}
-
-fn arm_counting() {
-    COUNTING.with(|c| c.set(true));
-}
-
-// SAFETY: defers all memory operations to `System`; only adds counter
-// bumps around them.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if counting_here() {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if counting_here() {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if counting_here() {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.alloc_zeroed(layout)
-    }
-}
-
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
-
-fn alloc_events() -> u64 {
-    ALLOC_EVENTS.load(Ordering::Relaxed)
-}
 
 struct Ticks(u64);
 
@@ -110,12 +53,12 @@ fn pure_scheduler_steady_state_is_allocation_free() {
     }
     // Counting is thread-scoped, so one window suffices: anything the
     // counter sees was allocated by this thread's event loop.
-    let before = alloc_events();
+    let before = alloc::events();
     while sim.world().0 < 55_000 {
         assert!(sim.step(), "chains keep the queue non-empty");
     }
     assert_eq!(
-        alloc_events() - before,
+        alloc::events() - before,
         0,
         "steady-state scheduling of ZST actions must not touch the heap"
     );
@@ -169,7 +112,7 @@ fn bm_store_read_window_does_not_grow_the_arena() {
 
 #[test]
 fn hot_path_allocation_budget() {
-    arm_counting();
+    alloc::arm();
     pure_scheduler_steady_state_is_allocation_free();
     bm_store_read_window_does_not_grow_the_arena();
 }
